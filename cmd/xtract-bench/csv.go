@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// csvDir is set by the -csv flag; empty disables CSV output.
+var csvDir string
+
+// writeCSV writes rows (first row = header) to <csvDir>/<name>.csv.
+// Silently skipped when -csv is unset; errors are reported but not fatal
+// so a read-only directory doesn't kill the run.
+func writeCSV(name string, header []string, rows [][]string) {
+	if csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+// f formats a float for CSV.
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// d formats an int for CSV.
+func d(v int) string { return fmt.Sprintf("%d", v) }

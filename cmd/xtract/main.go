@@ -1,0 +1,207 @@
+// Command xtract is the Xtract CLI: crawl a local directory tree, apply
+// the metadata extractor library, and write validated metadata documents.
+// It can also serve the REST API for SDK-driven jobs.
+//
+//	xtract extract -root DIR [-out DIR] [-grouper matio] [-workers 8]
+//	xtract serve   -root DIR -addr :8080
+//	xtract extractors
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"xtract/internal/api"
+	"xtract/internal/clock"
+	"xtract/internal/core"
+	"xtract/internal/crawler"
+	"xtract/internal/deploy"
+	"xtract/internal/extractors"
+	"xtract/internal/index"
+	"xtract/internal/store"
+	"xtract/internal/validate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "extract":
+		err = runExtract(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "search":
+		err = runSearch(os.Args[2:])
+	case "extractors":
+		for _, name := range extractors.DefaultLibrary().Names() {
+			fmt.Println(name)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xtract:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xtract extract -root DIR [-out DIR] [-grouper single|extension|directory|matio] [-workers N] [-validator passthrough|mdf]
+  xtract search  -metadata DIR -q QUERY
+  xtract serve   -root DIR [-addr :8080]
+  xtract extractors`)
+}
+
+// grouperByName resolves the CLI grouper flag.
+func grouperByName(name string, lib *extractors.Library) (crawler.GroupingFunc, error) {
+	switch name {
+	case "", "single":
+		return crawler.SingleFileGrouper(lib), nil
+	case "extension":
+		return crawler.ExtensionGrouper(lib), nil
+	case "directory":
+		return crawler.DirectoryGrouper(lib), nil
+	case "matio":
+		return crawler.MatIOGrouper(lib), nil
+	default:
+		return nil, fmt.Errorf("unknown grouper %q", name)
+	}
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	root := fs.String("root", "", "directory to process (required)")
+	out := fs.String("out", "", "directory for metadata documents (default <root>/.xtract-metadata)")
+	grouperName := fs.String("grouper", "matio", "grouping function")
+	workers := fs.Int("workers", 8, "extraction workers")
+	validatorName := fs.String("validator", "passthrough", "validator: passthrough|mdf")
+	_ = fs.Parse(args)
+	if *root == "" {
+		return fmt.Errorf("-root is required")
+	}
+	if *out == "" {
+		*out = *root + "/.xtract-metadata"
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	src, err := store.NewOSStore("local", *root)
+	if err != nil {
+		return err
+	}
+	dest, err := store.NewOSStore("dest", *out)
+	if err != nil {
+		return err
+	}
+	var validator validate.Validator = validate.Passthrough{}
+	if *validatorName == "mdf" {
+		validator = validate.NewMDF("local")
+	}
+
+	lib := extractors.DefaultLibrary()
+	grouper, err := grouperByName(*grouperName, lib)
+	if err != nil {
+		return err
+	}
+	clk := clock.NewReal()
+	d, err := deploy.New(context.Background(), clk, []deploy.SiteSpec{
+		{Name: "local", Store: src, Workers: *workers},
+	}, deploy.Options{Library: lib, Validator: validator, Dest: dest, Checkpoint: false})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	start := time.Now()
+	stats, err := d.Service.RunJob(context.Background(), []core.RepoSpec{{
+		SiteName: "local",
+		Roots:    []string{"/"},
+		Grouper:  grouper,
+	}})
+	if err != nil {
+		return err
+	}
+	d.DrainValidation()
+	fmt.Printf("crawled %d files (%d dirs) in %d groups\n",
+		stats.Crawl.FilesSeen, stats.Crawl.DirsListed, stats.Crawl.GroupsFormed)
+	fmt.Printf("processed %d families (%d extractor invocations, %d failed) in %v\n",
+		stats.FamiliesDone, stats.StepsProcessed, stats.StepsFailed,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("validated %d metadata documents → %s\n",
+		d.Validation.Validated.Value(), *out)
+	return nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	root := fs.String("root", "", "directory to expose as the 'local' site (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 8, "extraction workers")
+	_ = fs.Parse(args)
+	if *root == "" {
+		return fmt.Errorf("-root is required")
+	}
+	src, err := store.NewOSStore("local", *root)
+	if err != nil {
+		return err
+	}
+	clk := clock.NewReal()
+	d, err := deploy.New(context.Background(), clk, []deploy.SiteSpec{
+		{Name: "local", Store: src, Workers: *workers},
+	}, deploy.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	srv := api.NewServer(d.Service, d.Registry, d.Library, nil)
+	srv.EnableSearch(index.New(), d.Dest, "/metadata")
+	fmt.Printf("xtract service listening on %s (site 'local' → %s)\n", *addr, *root)
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// runSearch builds an index over a metadata output directory on disk
+// (as written by `xtract extract`) and answers one query.
+func runSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	metaDir := fs.String("metadata", "", "metadata directory, e.g. <root>/.xtract-metadata (required)")
+	q := fs.String("q", "", "query terms (required)")
+	limit := fs.Int("limit", 10, "maximum hits to print")
+	_ = fs.Parse(args)
+	if *metaDir == "" || *q == "" {
+		return fmt.Errorf("-metadata and -q are required")
+	}
+	src, err := store.NewOSStore("metadata", *metaDir)
+	if err != nil {
+		return err
+	}
+	ix := index.New()
+	n, err := ix.IngestStore(src, "/")
+	if err != nil && n == 0 {
+		return err
+	}
+	docs, terms := ix.Stats()
+	fmt.Printf("indexed %d documents (%d terms)\n", docs, terms)
+	hits := ix.Search(*q)
+	if len(hits) == 0 {
+		fmt.Println("no hits")
+		return nil
+	}
+	for i, h := range hits {
+		if i >= *limit {
+			fmt.Printf("... and %d more\n", len(hits)-*limit)
+			break
+		}
+		fmt.Printf("%7.3f  %s\n", h.Score, h.DocID)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module xtract
+
+go 1.22

@@ -1,0 +1,302 @@
+// Package api exposes the Xtract service over HTTP as a REST API, the
+// interaction surface of the paper's microservice architecture, plus the
+// request/response types shared with the client SDK.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"xtract/internal/auth"
+	"xtract/internal/core"
+	"xtract/internal/crawler"
+	"xtract/internal/extractors"
+	"xtract/internal/index"
+	"xtract/internal/registry"
+	"xtract/internal/store"
+)
+
+// JobRequest submits an extraction job.
+type JobRequest struct {
+	Repos []RepoRequest `json:"repos"`
+}
+
+// RepoRequest names one repository within a job.
+type RepoRequest struct {
+	Site          string   `json:"site"`
+	Roots         []string `json:"roots"`
+	Grouper       string   `json:"grouper"` // single | extension | directory | matio
+	CrawlWorkers  int      `json:"crawl_workers,omitempty"`
+	MaxFamilySize int      `json:"max_family_size,omitempty"`
+	NoMinTransfer bool     `json:"no_min_transfer,omitempty"`
+}
+
+// JobResponse returns the job handle.
+type JobResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// JobStatus reports job progress and, when complete, final statistics.
+type JobStatus struct {
+	JobID    string             `json:"job_id"`
+	State    string             `json:"state"`
+	Crawled  int64              `json:"groups_crawled"`
+	Done     int64              `json:"groups_done"`
+	Err      string             `json:"err,omitempty"`
+	Complete bool               `json:"complete"`
+	Stats    *core.JobStats     `json:"stats,omitempty"`
+	Record   registry.JobRecord `json:"record"`
+}
+
+// SitesResponse lists registered sites.
+type SitesResponse struct {
+	Sites []string `json:"sites"`
+}
+
+// ExtractorsResponse lists registered extractors.
+type ExtractorsResponse struct {
+	Extractors []string `json:"extractors"`
+}
+
+// SearchHit is one search result.
+type SearchHit struct {
+	DocID string  `json:"doc_id"`
+	Score float64 `json:"score"`
+}
+
+// SearchResponse answers a metadata search query.
+type SearchResponse struct {
+	Query string      `json:"query"`
+	Hits  []SearchHit `json:"hits"`
+}
+
+// RefreshResponse reports an index refresh.
+type RefreshResponse struct {
+	Ingested int `json:"ingested"`
+	Docs     int `json:"docs"`
+	Terms    int `json:"terms"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server is the HTTP front end over a core.Service.
+type Server struct {
+	svc     *core.Service
+	reg     *registry.Registry
+	lib     *extractors.Library
+	issuer  *auth.Issuer // nil disables auth
+	mu      sync.Mutex
+	results map[string]*jobResult
+
+	// search integration (optional, via EnableSearch)
+	idx        *index.Index
+	dest       store.Store
+	destPrefix string
+}
+
+type jobResult struct {
+	done  bool
+	stats core.JobStats
+	err   error
+}
+
+// NewServer wires the REST API. issuer may be nil to disable auth.
+func NewServer(svc *core.Service, reg *registry.Registry, lib *extractors.Library, issuer *auth.Issuer) *Server {
+	return &Server{
+		svc:     svc,
+		reg:     reg,
+		lib:     lib,
+		issuer:  issuer,
+		results: make(map[string]*jobResult),
+	}
+}
+
+// EnableSearch attaches a search index fed from the validated-metadata
+// destination store. destPrefix is the directory validated documents
+// land in (the validation service's DestPrefix, usually "/metadata").
+func (s *Server) EnableSearch(ix *index.Index, dest store.Store, destPrefix string) {
+	s.idx = ix
+	s.dest = dest
+	s.destPrefix = destPrefix
+}
+
+// Handler returns the API route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.requireScope(auth.ScopeExtract, s.handleSubmit))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.requireScope(auth.ScopeExtract, s.handleJobStatus))
+	mux.HandleFunc("GET /api/v1/sites", s.requireScope(auth.ScopeExtract, s.handleSites))
+	mux.HandleFunc("GET /api/v1/extractors", s.requireScope(auth.ScopeExtract, s.handleExtractors))
+	mux.HandleFunc("GET /api/v1/search", s.requireScope(auth.ScopeExtract, s.handleSearch))
+	mux.HandleFunc("POST /api/v1/index/refresh", s.requireScope(auth.ScopeExtract, s.handleRefresh))
+	return mux
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.idx == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("api: search not enabled"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("api: missing q parameter"))
+		return
+	}
+	resp := SearchResponse{Query: q}
+	for _, hit := range s.idx.Search(q) {
+		resp.Hits = append(resp.Hits, SearchHit{DocID: hit.DocID, Score: hit.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
+	if s.idx == nil || s.dest == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("api: search not enabled"))
+		return
+	}
+	n, err := s.idx.IngestStore(s.dest, s.destPrefix)
+	if err != nil && n == 0 {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	docs, terms := s.idx.Stats()
+	writeJSON(w, http.StatusOK, RefreshResponse{Ingested: n, Docs: docs, Terms: terms})
+}
+
+// requireScope enforces bearer-token auth when an issuer is configured.
+func (s *Server) requireScope(scope string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.issuer != nil {
+			tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if _, err := s.issuer.Require(tok, scope); err != nil {
+				writeError(w, http.StatusUnauthorized, err)
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// grouperByName maps grouper names to implementations.
+func (s *Server) grouperByName(name string) (crawler.GroupingFunc, error) {
+	switch name {
+	case "", "single":
+		return crawler.SingleFileGrouper(s.lib), nil
+	case "extension":
+		return crawler.ExtensionGrouper(s.lib), nil
+	case "directory":
+		return crawler.DirectoryGrouper(s.lib), nil
+	case "matio":
+		return crawler.MatIOGrouper(s.lib), nil
+	default:
+		return nil, fmt.Errorf("api: unknown grouper %q", name)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Repos) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("api: no repositories"))
+		return
+	}
+	var specs []core.RepoSpec
+	for _, repo := range req.Repos {
+		grouper, err := s.grouperByName(repo.Grouper)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, ok := s.svc.Site(repo.Site); !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("api: unknown site %q", repo.Site))
+			return
+		}
+		specs = append(specs, core.RepoSpec{
+			SiteName:       repo.Site,
+			Roots:          repo.Roots,
+			Grouper:        grouper,
+			CrawlWorkers:   repo.CrawlWorkers,
+			MaxFamilySize:  repo.MaxFamilySize,
+			NoMinTransfers: repo.NoMinTransfer,
+		})
+	}
+
+	// The job ID is created inside RunJob; to hand the caller a handle
+	// immediately we pre-create the tracking slot keyed by the ID the
+	// registry will assign, learned from the goroutine.
+	idCh := make(chan string, 1)
+	go func() {
+		stats, err := s.svc.RunJobNotify(context.Background(), specs, idCh)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		jr := s.results[stats.JobID]
+		if jr == nil {
+			jr = &jobResult{}
+			s.results[stats.JobID] = jr
+		}
+		jr.done = true
+		jr.stats = stats
+		jr.err = err
+	}()
+	jobID := <-idCh
+	s.mu.Lock()
+	if _, ok := s.results[jobID]; !ok {
+		s.results[jobID] = &jobResult{}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, JobResponse{JobID: jobID})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.reg.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	status := JobStatus{
+		JobID:   id,
+		State:   string(rec.State),
+		Crawled: rec.GroupsCrawled,
+		Done:    rec.GroupsDone,
+		Record:  rec,
+	}
+	s.mu.Lock()
+	if jr, ok := s.results[id]; ok && jr.done {
+		status.Complete = true
+		status.Stats = &jr.stats
+		if jr.err != nil {
+			status.Err = jr.err.Error()
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SitesResponse{Sites: s.svc.Sites()})
+}
+
+func (s *Server) handleExtractors(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ExtractorsResponse{Extractors: s.lib.Names()})
+}

@@ -1,0 +1,108 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xtract/internal/clock"
+)
+
+func newIssuer() (*Issuer, *clock.Fake) {
+	clk := clock.NewFake(time.Unix(1000, 0))
+	return NewIssuer([]byte("test-key"), clk), clk
+}
+
+func TestIssueAndValidate(t *testing.T) {
+	iss, _ := newIssuer()
+	tok := iss.Issue("tskluzacek@uchicago.edu", []string{ScopeCrawl, ScopeExtract}, time.Hour)
+	claims, err := iss.Validate(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claims.Identity != "tskluzacek@uchicago.edu" {
+		t.Fatalf("identity = %q", claims.Identity)
+	}
+	if !claims.HasScope(ScopeCrawl) || claims.HasScope(ScopeValidate) {
+		t.Fatalf("scopes = %v", claims.Scopes)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	iss, clk := newIssuer()
+	tok := iss.Issue("u", []string{ScopeCrawl}, time.Minute)
+	clk.Advance(2 * time.Minute)
+	if _, err := iss.Validate(tok); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTamperedTokenRejected(t *testing.T) {
+	iss, _ := newIssuer()
+	tok := iss.Issue("u", []string{ScopeCrawl}, time.Hour)
+	parts := strings.Split(tok, ".")
+	// Flip a character in the body.
+	body := []byte(parts[0])
+	body[0] ^= 1
+	if _, err := iss.Validate(string(body) + "." + parts[1]); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	a := NewIssuer([]byte("key-a"), clk)
+	b := NewIssuer([]byte("key-b"), clk)
+	tok := a.Issue("u", []string{ScopeCrawl}, time.Hour)
+	if _, err := b.Validate(tok); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedToken(t *testing.T) {
+	iss, _ := newIssuer()
+	for _, tok := range []string{"", "x", "a.b.c", "!!!.sig"} {
+		if _, err := iss.Validate(tok); err == nil {
+			t.Fatalf("token %q validated", tok)
+		}
+	}
+}
+
+func TestRequireScope(t *testing.T) {
+	iss, _ := newIssuer()
+	tok := iss.Issue("u", []string{ScopeCrawl}, time.Hour)
+	if _, err := iss.Require(tok, ScopeCrawl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iss.Require(tok, ScopeExtract); !errors.Is(err, ErrScope) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := iss.Require("garbage", ScopeCrawl); err == nil {
+		t.Fatal("garbage token passed Require")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	iss, _ := newIssuer()
+	f := func(identity string, scopes []string) bool {
+		tok := iss.Issue(identity, scopes, time.Hour)
+		claims, err := iss.Validate(tok)
+		if err != nil {
+			return false
+		}
+		if claims.Identity != identity || len(claims.Scopes) != len(scopes) {
+			return false
+		}
+		for i := range scopes {
+			if claims.Scopes[i] != scopes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

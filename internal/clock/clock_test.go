@@ -1,0 +1,143 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealSince(t *testing.T) {
+	c := NewReal()
+	start := c.Now()
+	if d := c.Since(start); d < 0 {
+		t.Fatalf("negative Since: %v", d)
+	}
+}
+
+func TestFakeNowStable(t *testing.T) {
+	start := time.Date(2021, 6, 21, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	// Without Advance the clock must not move.
+	if !f.Now().Equal(start) {
+		t.Fatal("fake clock moved on its own")
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	f.Advance(5 * time.Second)
+	if got := f.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v, want start+5s", got)
+	}
+}
+
+func TestFakeAfterFiresInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch1 := f.After(1 * time.Second)
+	ch2 := f.After(2 * time.Second)
+	f.Advance(3 * time.Second)
+	t1 := <-ch1
+	t2 := <-ch2
+	if !t1.Before(t2) {
+		t.Fatalf("timers fired out of order: %v !< %v", t1, t2)
+	}
+}
+
+func TestFakeAfterZeroFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeAfterNotEarly(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(10 * time.Second)
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	f.Advance(1 * time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper has registered its timer.
+	for f.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(time.Second)
+	wg.Wait()
+	<-done
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	ch := f.After(50 * time.Second)
+	f.Set(time.Unix(200, 0))
+	if got := f.Now(); !got.Equal(time.Unix(200, 0)) {
+		t.Fatalf("Now = %v after Set", got)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set did not fire intermediate timer")
+	}
+}
+
+func TestFakeSinceTracksAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	start := f.Now()
+	f.Advance(42 * time.Minute)
+	if d := f.Since(start); d != 42*time.Minute {
+		t.Fatalf("Since = %v, want 42m", d)
+	}
+}
+
+func TestFakeConcurrentWaiters(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Sleep(time.Duration(i%10+1) * time.Second)
+		}(i)
+	}
+	for f.PendingTimers() < n {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(10 * time.Second)
+	wg.Wait()
+}

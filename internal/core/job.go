@@ -1,0 +1,616 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/crawler"
+	"xtract/internal/faas"
+	"xtract/internal/family"
+	"xtract/internal/queue"
+	"xtract/internal/registry"
+	"xtract/internal/scheduler"
+	"xtract/internal/transfer"
+	"xtract/internal/validate"
+)
+
+// RepoSpec names one repository to process within a job.
+type RepoSpec struct {
+	// SiteName is the registered site holding the repository.
+	SiteName string
+	// Roots are the directories to crawl.
+	Roots []string
+	// Grouper is the file grouping function.
+	Grouper crawler.GroupingFunc
+	// CrawlWorkers sizes the crawler's thread pool (default 16).
+	CrawlWorkers int
+	// UseMinTransfers toggles min-transfer family packaging (default on
+	// when unset via the NoMinTransfers flag).
+	NoMinTransfers bool
+	// MaxFamilySize is the family size bound s (default 16).
+	MaxFamilySize int
+}
+
+// JobStats summarizes a finished job.
+type JobStats struct {
+	JobID            string
+	Crawl            crawler.Stats
+	FamiliesDone     int64
+	FamiliesFailed   int64
+	StepsProcessed   int64
+	StepsFailed      int64
+	TasksResubmitted int64
+	BytesStaged      int64
+	Elapsed          time.Duration
+}
+
+// stepRef ties a dispatched step back to its family.
+type stepRef struct {
+	famID string
+	step  scheduler.Step
+}
+
+// famState is the service-side record of one in-flight family.
+type famState struct {
+	fam       family.Family
+	plan      *scheduler.Plan
+	site      *Site
+	pathMap   map[string]string
+	results   map[string]map[string]interface{}
+	steps     []validate.StepResult
+	staged    bool
+	fetchFrom string // direct-fetch source endpoint ("" = local/staged)
+	xferDur   time.Duration
+}
+
+// pump is the single-threaded orchestration loop state for one job.
+type pump struct {
+	s         *Service
+	jobID     string
+	start     time.Time
+	states    map[string]*famState
+	staging   map[string]*famState
+	buckets   map[[2]string][]stepPayload // (site, extractor) -> steps
+	reqs      []faas.TaskRequest
+	refs      [][]stepRef
+	out       map[string][]stepRef // taskID -> refs
+	outIDs    []string
+	failedFam int64
+}
+
+// RunJob crawls the given repositories and orchestrates extraction until
+// every family's plan completes. Crawling and extraction overlap: the
+// service dequeues families as the crawler emits them (the paper's
+// "begins extracting data within 3 seconds of the crawler starting").
+func (s *Service) RunJob(ctx context.Context, repos []RepoSpec) (JobStats, error) {
+	return s.RunJobNotify(ctx, repos, nil)
+}
+
+// RunJobNotify is RunJob, additionally delivering the assigned job ID on
+// idCh as soon as the job record exists (used by the REST front end to
+// return a handle before the job completes).
+func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<- string) (JobStats, error) {
+	names := make([]string, 0, len(repos))
+	for _, r := range repos {
+		names = append(names, r.SiteName)
+	}
+	jobID := s.cfg.Registry.CreateJob(names, s.clk.Now())
+	if idCh != nil {
+		idCh <- jobID
+	}
+
+	crawlDone := make(chan crawler.Stats, len(repos))
+	crawlErr := make(chan error, len(repos))
+	for _, spec := range repos {
+		site, ok := s.Site(spec.SiteName)
+		if !ok {
+			return JobStats{JobID: jobID}, fmt.Errorf("core: unknown site %q", spec.SiteName)
+		}
+		c := crawler.New(site.Store, spec.Grouper, s.cfg.FamilyQueue)
+		if spec.CrawlWorkers > 0 {
+			c.Workers = spec.CrawlWorkers
+		}
+		if spec.MaxFamilySize > 0 {
+			c.MaxFamilySize = spec.MaxFamilySize
+		}
+		c.UseMinTransfers = !spec.NoMinTransfers
+		go func(spec RepoSpec) {
+			stats, err := c.Crawl(ctx, spec.Roots)
+			if err != nil {
+				crawlErr <- err
+				return
+			}
+			crawlDone <- stats
+		}(spec)
+	}
+
+	p := &pump{
+		s:       s,
+		jobID:   jobID,
+		start:   s.clk.Now(),
+		states:  make(map[string]*famState),
+		staging: make(map[string]*famState),
+		buckets: make(map[[2]string][]stepPayload),
+		out:     make(map[string][]stepRef),
+	}
+	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
+		j.State = registry.JobExtracting
+	})
+
+	var crawlStats crawler.Stats
+	crawlsPending := len(repos)
+	for {
+		if err := ctx.Err(); err != nil {
+			return JobStats{JobID: jobID}, err
+		}
+		progress := false
+		// Collect finished crawls without blocking.
+		for crawlsPending > 0 {
+			select {
+			case stats := <-crawlDone:
+				crawlStats.DirsListed += stats.DirsListed
+				crawlStats.FilesSeen += stats.FilesSeen
+				crawlStats.GroupsFormed += stats.GroupsFormed
+				crawlStats.FamiliesEmitted += stats.FamiliesEmitted
+				crawlStats.BytesSeen += stats.BytesSeen
+				crawlStats.ListErrors += stats.ListErrors
+				crawlsPending--
+				progress = true
+				continue
+			case err := <-crawlErr:
+				return JobStats{JobID: jobID}, err
+			default:
+			}
+			break
+		}
+
+		if p.intakeFamilies() {
+			progress = true
+		}
+		if p.intakeStaged() {
+			progress = true
+		}
+		if p.pollTasks() {
+			progress = true
+		}
+		// Flush: batch-complete buckets always; partial ones when idle.
+		if p.flush(!progress) {
+			progress = true
+		}
+
+		if !progress {
+			if crawlsPending == 0 && len(p.states) == 0 && len(p.staging) == 0 &&
+				len(p.outIDs) == 0 && s.cfg.FamilyQueue.Len() == 0 &&
+				s.cfg.PrefetchDone.Len() == 0 {
+				break
+			}
+			// While idle, scan endpoint liveness so tasks stranded on a
+			// dead allocation surface as LOST and get resubmitted.
+			s.cfg.FaaS.CheckHeartbeats()
+			s.clk.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	elapsed := s.clk.Since(p.start)
+	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
+		j.State = registry.JobComplete
+		j.GroupsCrawled = crawlStats.GroupsFormed
+		j.GroupsDone = s.GroupsProcessed.Value()
+	})
+	return JobStats{
+		JobID:            jobID,
+		Crawl:            crawlStats,
+		FamiliesDone:     s.FamiliesDone.Value(),
+		FamiliesFailed:   p.failedFam,
+		StepsProcessed:   s.GroupsProcessed.Value(),
+		StepsFailed:      s.StepsFailed.Value(),
+		TasksResubmitted: s.TasksResubmitted.Value(),
+		BytesStaged:      s.BytesStaged.Value(),
+		Elapsed:          elapsed,
+	}, nil
+}
+
+// intakeFamilies pulls crawled families off the queue, places them, and
+// either readies them for dispatch or sends them to the prefetcher.
+func (p *pump) intakeFamilies() bool {
+	msgs := p.s.cfg.FamilyQueue.Receive(64, 5*time.Minute)
+	if len(msgs) == 0 {
+		return false
+	}
+	for _, m := range msgs {
+		var fam family.Family
+		if err := json.Unmarshal(m.Body, &fam); err != nil {
+			_ = p.s.cfg.FamilyQueue.Delete(m.Receipt)
+			continue
+		}
+		p.placeFamily(fam)
+		_ = p.s.cfg.FamilyQueue.Delete(m.Receipt)
+	}
+	return true
+}
+
+// placeFamily runs the placement policy and routes the family either
+// straight to dispatch or through the prefetcher.
+func (p *pump) placeFamily(fam family.Family) {
+	home, ok := p.s.Site(fam.Store)
+	if !ok {
+		p.failedFam++
+		return
+	}
+	var alternates []scheduler.SiteState
+	p.s.mu.Lock()
+	for name, site := range p.s.sites {
+		if name != home.Name && site.HasCompute() {
+			alternates = append(alternates, site.state())
+		}
+	}
+	p.s.mu.Unlock()
+	targetName := p.s.cfg.Policy.Place(&fam, home.state(), alternates)
+	target, ok := p.s.Site(targetName)
+	if !ok || !target.HasCompute() {
+		// No compute anywhere reachable: the family cannot be processed.
+		p.failedFam++
+		return
+	}
+
+	st := &famState{
+		fam:     fam,
+		plan:    scheduler.BuildPlan(&fam),
+		site:    target,
+		pathMap: make(map[string]string),
+		results: make(map[string]map[string]interface{}),
+	}
+	if target.Name == home.Name {
+		for path := range fam.FileMeta {
+			st.pathMap[path] = path
+		}
+		p.states[fam.ID] = st
+		p.bucketReadySteps(st)
+		return
+	}
+	if target.DirectFetch {
+		// No shared file system at the target: workers download each file
+		// from the home data layer at extraction time (Table 3's pods).
+		for path := range fam.FileMeta {
+			st.pathMap[path] = path
+		}
+		st.fetchFrom = home.TransferID
+		p.states[fam.ID] = st
+		p.bucketReadySteps(st)
+		return
+	}
+	// Staging required: the target must have room for the family's bytes
+	// (Listing 2's available_gb). When the chosen site is full, fall back
+	// to another compute site with space; with none, the family fails.
+	need := fam.TotalBytes()
+	if !target.reserveStage(need) {
+		target = nil
+		p.s.mu.Lock()
+		for name, site := range p.s.sites {
+			if name != home.Name && site.HasCompute() && site.reserveStage(need) {
+				target = site
+				break
+			}
+		}
+		p.s.mu.Unlock()
+		if target == nil {
+			p.failedFam++
+			return
+		}
+		st.site = target
+	}
+	// Map every family file into the target stage dir.
+	var pairs []transfer.FilePair
+	for path := range fam.FileMeta {
+		staged := target.StagePath + path
+		st.pathMap[path] = staged
+		pairs = append(pairs, transfer.FilePair{Src: path, Dst: staged})
+	}
+	st.staged = true
+	task := transfer.PrefetchTask{
+		FamilyID: fam.ID,
+		Src:      home.TransferID,
+		Dst:      target.TransferID,
+		Pairs:    pairs,
+	}
+	body, _ := json.Marshal(task)
+	p.s.cfg.PrefetchQueue.Send(body)
+	p.staging[fam.ID] = st
+}
+
+// intakeStaged consumes prefetcher results and readies staged families.
+func (p *pump) intakeStaged() bool {
+	msgs := p.s.cfg.PrefetchDone.Receive(64, 5*time.Minute)
+	if len(msgs) == 0 {
+		return false
+	}
+	for _, m := range msgs {
+		var res transfer.PrefetchResult
+		if err := json.Unmarshal(m.Body, &res); err != nil {
+			_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
+			continue
+		}
+		st, ok := p.staging[res.FamilyID]
+		if ok {
+			delete(p.staging, res.FamilyID)
+			if res.OK {
+				st.xferDur = res.Elapsed
+				p.s.BytesStaged.Add(res.Bytes)
+				p.states[st.fam.ID] = st
+				p.bucketReadySteps(st)
+			} else {
+				p.failedFam++
+			}
+		}
+		_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
+	}
+	return true
+}
+
+// bucketReadySteps drains the family plan's pending steps into the
+// per-(site, extractor) Xtract batching buckets.
+func (p *pump) bucketReadySteps(st *famState) {
+	for {
+		step, ok := st.plan.Next()
+		if !ok {
+			return
+		}
+		groupFiles := p.groupFiles(st, step.GroupID)
+		key := [2]string{st.site.Name, step.Extractor}
+		p.buckets[key] = append(p.buckets[key], stepPayload{
+			FamilyID:    st.fam.ID,
+			GroupID:     step.GroupID,
+			Files:       groupFiles,
+			DeleteAfter: st.staged && st.site.DeleteStaged,
+			FetchFrom:   st.fetchFrom,
+		})
+	}
+}
+
+// groupFiles resolves a group's effective file map at the execution site.
+func (p *pump) groupFiles(st *famState, groupID string) map[string]string {
+	out := make(map[string]string)
+	for _, g := range st.fam.Groups {
+		if g.ID != groupID {
+			continue
+		}
+		for _, f := range g.Files {
+			if eff, ok := st.pathMap[f]; ok {
+				out[f] = eff
+			} else {
+				out[f] = f
+			}
+		}
+	}
+	return out
+}
+
+// flush converts batching buckets into FaaS tasks and submits accumulated
+// tasks. Full Xtract batches and full funcX batches always flush; partial
+// ones flush only when force is set (idle loop).
+func (p *pump) flush(force bool) bool {
+	progress := false
+	for key, steps := range p.buckets {
+		for len(steps) >= p.s.cfg.XtractBatchSize || (force && len(steps) > 0) {
+			n := p.s.cfg.XtractBatchSize
+			if n > len(steps) {
+				n = len(steps)
+			}
+			batch := steps[:n]
+			steps = steps[n:]
+			if p.enqueueTask(key[0], key[1], batch) {
+				progress = true
+			}
+		}
+		if len(steps) == 0 {
+			delete(p.buckets, key)
+		} else {
+			p.buckets[key] = steps
+		}
+	}
+	if len(p.reqs) >= p.s.cfg.FuncXBatchSize || (force && len(p.reqs) > 0) {
+		p.submit()
+		progress = true
+	}
+	return progress
+}
+
+// enqueueTask builds one FaaS task from an Xtract batch. The extractor's
+// container/endpoint tuple is resolved through the registry first — an
+// RDS query on first use, served from cache afterwards (the Figure 3
+// t_xs cost).
+func (p *pump) enqueueTask(site, extractor string, steps []stepPayload) bool {
+	fid, err := p.s.functionFor(extractor, site)
+	if err == nil {
+		if _, rerr := p.s.cfg.Registry.ResolveExtractor(extractor); rerr != nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		// No function for this extractor here: fail the steps.
+		for _, sp := range steps {
+			if st, ok := p.states[sp.FamilyID]; ok {
+				st.plan.Fail(scheduler.Step{GroupID: sp.GroupID, Extractor: extractor})
+				p.s.StepsFailed.Inc()
+				p.finishIfDone(st)
+			}
+		}
+		return false
+	}
+	payload, _ := json.Marshal(taskPayload{
+		Extractor:  extractor,
+		Site:       site,
+		Steps:      steps,
+		Checkpoint: p.s.cfg.Checkpoint,
+	})
+	var refs []stepRef
+	ep := ""
+	if s, ok := p.s.Site(site); ok && s.Compute != nil {
+		ep = s.Compute.ID
+	}
+	for _, sp := range steps {
+		refs = append(refs, stepRef{
+			famID: sp.FamilyID,
+			step:  scheduler.Step{GroupID: sp.GroupID, Extractor: extractor},
+		})
+	}
+	p.reqs = append(p.reqs, faas.TaskRequest{FunctionID: fid, EndpointID: ep, Payload: payload})
+	p.refs = append(p.refs, refs)
+	return true
+}
+
+// submit sends the accumulated funcX batch.
+func (p *pump) submit() {
+	ids, err := p.s.cfg.FaaS.SubmitBatch(p.reqs)
+	if err != nil {
+		// Submission failure loses the whole batch: reset every step so it
+		// can be re-bucketed.
+		for _, refs := range p.refs {
+			for _, r := range refs {
+				if st, ok := p.states[r.famID]; ok {
+					st.plan.Reset(r.step)
+					p.bucketReadySteps(st)
+				}
+			}
+		}
+	} else {
+		for i, id := range ids {
+			p.out[id] = p.refs[i]
+			p.outIDs = append(p.outIDs, id)
+		}
+	}
+	p.reqs = nil
+	p.refs = nil
+}
+
+// pollTasks polls outstanding FaaS tasks and processes terminal results.
+func (p *pump) pollTasks() bool {
+	if len(p.outIDs) == 0 {
+		return false
+	}
+	infos := p.s.cfg.FaaS.PollBatch(p.outIDs)
+	var remaining []string
+	progress := false
+	for i, info := range infos {
+		id := p.outIDs[i]
+		if info.ID == "" || !info.Status.Terminal() {
+			remaining = append(remaining, id)
+			continue
+		}
+		progress = true
+		p.handleTerminal(id, info)
+	}
+	p.outIDs = remaining
+	return progress
+}
+
+// handleTerminal resolves one finished/lost task against family plans.
+func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
+	refs := p.out[id]
+	delete(p.out, id)
+	touched := make(map[string]*famState)
+
+	switch info.Status {
+	case faas.TaskSuccess:
+		var result taskResult
+		if err := json.Unmarshal(info.Result, &result); err != nil {
+			for _, r := range refs {
+				if st, ok := p.states[r.famID]; ok {
+					st.plan.Fail(r.step)
+					p.s.StepsFailed.Inc()
+					touched[r.famID] = st
+				}
+			}
+			break
+		}
+		for i, outc := range result.Outcomes {
+			st, ok := p.states[outc.FamilyID]
+			if !ok {
+				continue
+			}
+			step := scheduler.Step{GroupID: outc.GroupID, Extractor: result.Extractor}
+			if i < len(refs) {
+				step = refs[i].step
+			}
+			dur := time.Duration(outc.ExtractMS * float64(time.Millisecond))
+			st.steps = append(st.steps, validate.StepResult{
+				GroupID: outc.GroupID, Extractor: step.Extractor,
+				OK: outc.OK, Err: outc.Err, Duration: dur,
+			})
+			if outc.OK {
+				st.plan.Complete(step, outc.Metadata)
+				st.results[outc.GroupID+"/"+step.Extractor] = outc.Metadata
+				p.s.GroupsProcessed.Inc()
+				p.s.Throughput.Record(p.s.clk.Since(p.start), 1)
+				p.s.StepDurations.Observe(step.Extractor, dur)
+				if st.staged {
+					p.s.TransferDurations.Observe(step.Extractor, st.xferDur)
+				}
+			} else {
+				st.plan.Fail(step)
+				p.s.StepsFailed.Inc()
+			}
+			touched[outc.FamilyID] = st
+		}
+	case faas.TaskFailed:
+		for _, r := range refs {
+			if st, ok := p.states[r.famID]; ok {
+				st.plan.Fail(r.step)
+				p.s.StepsFailed.Inc()
+				touched[r.famID] = st
+			}
+		}
+	case faas.TaskLost:
+		// Allocation ended: resubmit every family step (Figure 8 restart).
+		p.s.TasksResubmitted.Inc()
+		for _, r := range refs {
+			if st, ok := p.states[r.famID]; ok {
+				st.plan.Reset(r.step)
+				touched[r.famID] = st
+			}
+		}
+	}
+	for _, st := range touched {
+		p.bucketReadySteps(st) // suggestions and resets become new steps
+		p.finishIfDone(st)
+	}
+}
+
+// finishIfDone emits the validation record once a family's plan is empty.
+func (p *pump) finishIfDone(st *famState) {
+	if !st.plan.Done() {
+		return
+	}
+	if _, live := p.states[st.fam.ID]; !live {
+		return
+	}
+	delete(p.states, st.fam.ID)
+	files := make([]string, 0, len(st.fam.FileMeta))
+	for f := range st.fam.FileMeta {
+		files = append(files, f)
+	}
+	rec := validate.Record{
+		JobID:     p.jobID,
+		FamilyID:  st.fam.ID,
+		Store:     st.fam.Store,
+		BasePath:  st.fam.BasePath,
+		Files:     files,
+		Metadata:  st.results,
+		Extracted: st.steps,
+	}
+	body, _ := json.Marshal(rec)
+	p.s.cfg.ResultQueue.Send(body)
+	p.s.FamiliesDone.Inc()
+}
+
+// NewQueues is a convenience constructor for the four queues a service
+// needs, named after their paper counterparts.
+func NewQueues(clk clock.Clock) (families, prefetch, prefetchDone, results *queue.Queue) {
+	return queue.New("crawl-families", clk),
+		queue.New("prefetch-tasks", clk),
+		queue.New("prefetch-done", clk),
+		queue.New("validation-results", clk)
+}

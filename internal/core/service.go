@@ -1,0 +1,262 @@
+// Package core implements the Xtract service: the orchestrator that
+// receives extraction jobs, invokes the crawler, builds dynamic
+// extraction plans for file families, places each family on a compute
+// site (local or offloaded), stages files through the prefetcher when
+// needed, batches extractor invocations at two levels (Xtract batches and
+// funcX batches), polls the FaaS fabric for results, handles lost tasks
+// via checkpoint/restart, and forwards finished metadata records to the
+// validation queue (paper §4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/extractors"
+	"xtract/internal/faas"
+	"xtract/internal/metrics"
+	"xtract/internal/queue"
+	"xtract/internal/registry"
+	"xtract/internal/scheduler"
+	"xtract/internal/store"
+	"xtract/internal/transfer"
+)
+
+// Site is one Xtract endpoint: a data layer (store + transfer endpoint)
+// and, optionally, a compute layer (a FaaS endpoint with workers).
+type Site struct {
+	// Name identifies the site ("theta", "midway", "petrel", ...).
+	Name string
+	// Store is the site's data layer.
+	Store store.Store
+	// TransferID is the site's endpoint ID in the transfer fabric.
+	TransferID string
+	// Compute is the site's FaaS endpoint; nil for storage-only sites.
+	Compute *faas.Endpoint
+	// StagePath is the directory staged (prefetched) files land in.
+	StagePath string
+	// DeleteStaged removes staged files after extraction (the
+	// family_batch.delete_files flag of Listing 1).
+	DeleteStaged bool
+	// DirectFetch makes workers at this site download remote files
+	// per-file through the transfer fabric at extraction time instead of
+	// batch-prefetching them — the Globus-HTTPS / Drive-API download
+	// path the paper uses for River pods without a shared file system.
+	DirectFetch bool
+	// ExcludeExtractors lists extractor names whose containers cannot
+	// run at this site (e.g., Docker-only extractors on Singularity-only
+	// systems); they are not registered here.
+	ExcludeExtractors []string
+	// StageCapacityBytes bounds how much data may be staged to this site
+	// (Listing 2's available_gb); 0 means unlimited. Reservations are
+	// conservative: staged bytes are not returned to the budget even when
+	// DeleteStaged removes the copies.
+	StageCapacityBytes int64
+
+	stagedBytes int64 // reserved staging bytes (pump-thread only)
+}
+
+// reserveStage reserves n staging bytes, reporting whether they fit.
+func (s *Site) reserveStage(n int64) bool {
+	if s.StageCapacityBytes > 0 && s.stagedBytes+n > s.StageCapacityBytes {
+		return false
+	}
+	s.stagedBytes += n
+	return true
+}
+
+// excludes reports whether the site cannot run the named extractor.
+func (s *Site) excludes(name string) bool {
+	for _, e := range s.ExcludeExtractors {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCompute reports whether the site can execute extractors.
+func (s *Site) HasCompute() bool { return s.Compute != nil }
+
+// state returns the scheduler's placement snapshot.
+func (s *Site) state() scheduler.SiteState {
+	st := scheduler.SiteState{Name: s.Name, HasCompute: s.HasCompute()}
+	if s.Compute != nil {
+		st.Workers = s.Compute.Workers
+		st.QueueDepth = s.Compute.QueueDepth()
+	}
+	return st
+}
+
+// Config wires the Xtract service to its substrates.
+type Config struct {
+	Clock    clock.Clock
+	FaaS     *faas.Service
+	Fabric   *transfer.Fabric
+	Registry *registry.Registry
+	Library  *extractors.Library
+	// FamilyQueue delivers serialized families from the crawler.
+	FamilyQueue *queue.Queue
+	// PrefetchQueue / PrefetchDone connect to the prefetcher.
+	PrefetchQueue *queue.Queue
+	PrefetchDone  *queue.Queue
+	// ResultQueue receives validate.Record JSON for finished families.
+	ResultQueue *queue.Queue
+	// Policy decides task placement; nil means LocalPolicy.
+	Policy scheduler.Policy
+	// XtractBatchSize is how many plan steps ride in one FaaS task.
+	XtractBatchSize int
+	// FuncXBatchSize is how many FaaS tasks ride in one submit call.
+	FuncXBatchSize int
+	// Checkpoint enables per-step checkpointing at the endpoints.
+	Checkpoint bool
+}
+
+// Service is the Xtract orchestrator.
+type Service struct {
+	cfg Config
+	clk clock.Clock
+
+	mu    sync.Mutex
+	sites map[string]*Site
+	// functions maps (extractor, site) to the registered FaaS function ID.
+	functions map[[2]string]string
+	// containerOf maps container name to its registered ID.
+	containerOf map[string]string
+
+	// ColdStartCost is the container cold-start charged when an extractor
+	// container first starts on an endpoint (Table 3 reports ~70 s; tests
+	// and examples use smaller values).
+	ColdStartCost time.Duration
+
+	GroupsProcessed  metrics.Counter
+	FamiliesDone     metrics.Counter
+	StepsFailed      metrics.Counter
+	TasksResubmitted metrics.Counter
+	BytesStaged      metrics.Counter
+	// Throughput records one point per completed group for Figure 8.
+	Throughput metrics.TimeSeries
+	// StepDurations records per-extractor execution times (Table 3).
+	StepDurations *metrics.Breakdown
+	// TransferDurations records per-extractor staging times (Table 3).
+	TransferDurations *metrics.Breakdown
+}
+
+// New constructs the service. Call AddSite and RegisterExtractors before
+// running jobs.
+func New(cfg Config) *Service {
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.LocalPolicy{}
+	}
+	if cfg.XtractBatchSize < 1 {
+		cfg.XtractBatchSize = 8
+	}
+	if cfg.FuncXBatchSize < 1 {
+		cfg.FuncXBatchSize = 16
+	}
+	return &Service{
+		cfg:               cfg,
+		clk:               cfg.Clock,
+		sites:             make(map[string]*Site),
+		functions:         make(map[[2]string]string),
+		containerOf:       make(map[string]string),
+		ColdStartCost:     0,
+		StepDurations:     metrics.NewBreakdown(),
+		TransferDurations: metrics.NewBreakdown(),
+	}
+}
+
+// AddSite registers an endpoint with the service. The site's store name
+// must equal the name crawled families carry.
+func (s *Service) AddSite(site *Site) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sites[site.Name] = site
+}
+
+// Site returns a registered site.
+func (s *Service) Site(name string) (*Site, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	site, ok := s.sites[name]
+	return site, ok
+}
+
+// Sites lists registered site names, sorted.
+func (s *Service) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sites))
+	for n := range s.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterExtractors registers every library extractor as a FaaS
+// function (one per compute site, closing over that site's data layer)
+// and records the address tuples in the registry — the paper's
+// function:container:endpoint registration flow.
+func (s *Service) RegisterExtractors() error {
+	s.mu.Lock()
+	sites := make([]*Site, 0, len(s.sites))
+	for _, site := range s.sites {
+		sites = append(sites, site)
+	}
+	s.mu.Unlock()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Name < sites[j].Name })
+
+	for _, name := range s.cfg.Library.Names() {
+		ext, err := s.cfg.Library.Get(name)
+		if err != nil {
+			return err
+		}
+		containerName := ext.Container()
+		s.mu.Lock()
+		cid, ok := s.containerOf[containerName]
+		if !ok {
+			cid = s.cfg.FaaS.RegisterContainer(containerName, s.ColdStartCost)
+			s.containerOf[containerName] = cid
+		}
+		s.mu.Unlock()
+
+		var endpointIDs []string
+		for _, site := range sites {
+			if !site.HasCompute() || site.excludes(name) {
+				continue
+			}
+			handler := s.makeHandler(site, ext)
+			fid, err := s.cfg.FaaS.RegisterFunction(
+				fmt.Sprintf("%s@%s", name, site.Name), handler, cid)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.functions[[2]string{name, site.Name}] = fid
+			s.mu.Unlock()
+			endpointIDs = append(endpointIDs, site.Compute.ID)
+		}
+		s.cfg.Registry.PutExtractor(registry.ExtractorRecord{
+			Name:        name,
+			FunctionID:  fmt.Sprintf("multi:%s", name),
+			ContainerID: cid,
+			EndpointIDs: endpointIDs,
+		})
+	}
+	return nil
+}
+
+// functionFor resolves the FaaS function for an extractor at a site.
+func (s *Service) functionFor(extractor, site string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fid, ok := s.functions[[2]string{extractor, site}]
+	if !ok {
+		return "", fmt.Errorf("core: extractor %s not registered at site %s", extractor, site)
+	}
+	return fid, nil
+}

@@ -1,0 +1,6 @@
+package core
+
+import "math/rand"
+
+// newSeededRand returns a deterministic rand source for tests.
+func newSeededRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,246 @@
+// Package dataset generates the synthetic research repositories used to
+// reproduce the paper's evaluation: an MDF-like materials repository, the
+// CDIAC-like uncurated archive, a graduate student's Google Drive, and a
+// COCO-like image corpus. Two forms are provided: materialized
+// repositories with real parseable bytes (for the live execution path)
+// and spec streams with matched size/type/duration distributions (for
+// the discrete-event simulator, where 61 TB cannot be materialized).
+package dataset
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math/rand"
+	"strings"
+)
+
+// vocab is the word pool for synthetic free text.
+var vocab = []string{
+	"perovskite", "anneal", "lattice", "specimen", "diffraction", "bandgap",
+	"crystal", "substrate", "electron", "microscopy", "spectra", "thermal",
+	"conductivity", "simulation", "relaxation", "energy", "convergence",
+	"sample", "measurement", "experiment", "analysis", "temperature",
+	"pressure", "voltage", "silicon", "graphene", "oxide", "alloy",
+	"polymer", "catalyst", "absorber", "photovoltaic", "dataset", "archive",
+}
+
+// elements used in synthetic structures.
+var speciesPool = []string{"Si", "O", "Fe", "Ti", "Al", "Ga", "As", "C", "N", "Cu"}
+
+// TextFile produces free-text content of roughly n words.
+func TextFile(rng *rand.Rand, words int) []byte {
+	var b strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			if i%12 == 0 {
+				b.WriteString(".\n")
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(vocab[rng.Intn(len(vocab))])
+	}
+	b.WriteString(".\n")
+	return []byte(b.String())
+}
+
+// CSVFile produces a rows×cols numeric table with a header and an
+// occasional null cell.
+func CSVFile(rng *rand.Rand, rows, cols int) []byte {
+	var b strings.Builder
+	for c := 0; c < cols; c++ {
+		if c > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "field_%d", c)
+	}
+	b.WriteByte('\n')
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			if rng.Intn(20) == 0 {
+				b.WriteString("NA")
+			} else {
+				fmt.Fprintf(&b, "%.3f", rng.NormFloat64()*10)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// POSCARFile produces a VASP structure with n atoms.
+func POSCARFile(rng *rand.Rand, atoms int) []byte {
+	sp := speciesPool[rng.Intn(len(speciesPool))]
+	a := 4 + rng.Float64()*4
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%d generated structure\n1.0\n", sp, atoms)
+	fmt.Fprintf(&b, "%.4f 0.0 0.0\n0.0 %.4f 0.0\n0.0 0.0 %.4f\n", a, a, a)
+	fmt.Fprintf(&b, "%s\n%d\nDirect\n", sp, atoms)
+	for i := 0; i < atoms; i++ {
+		fmt.Fprintf(&b, "%.6f %.6f %.6f\n", rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	return []byte(b.String())
+}
+
+// INCARFile produces VASP input parameters.
+func INCARFile(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf(
+		"ENCUT = %d\nISMEAR = %d\nSIGMA = 0.0%d\nIBRION = 2\nEDIFF = 1e-%d\n",
+		400+rng.Intn(300), rng.Intn(3), 1+rng.Intn(9), 4+rng.Intn(4)))
+}
+
+// OUTCARFile produces VASP output with the given ionic steps.
+func OUTCARFile(rng *rand.Rand, steps int) []byte {
+	var b strings.Builder
+	e := -10 - rng.Float64()*100
+	for i := 0; i < steps; i++ {
+		e += rng.Float64() * 0.1
+		fmt.Fprintf(&b, "  free  energy   TOTEN  =  %.4f eV\n", e)
+	}
+	fmt.Fprintf(&b, "  E-fermi :  %.4f\n", rng.Float64()*10)
+	b.WriteString("  reached required accuracy - stopping structural energy minimisation\n")
+	return []byte(b.String())
+}
+
+// CIFFile produces a crystal description.
+func CIFFile(rng *rand.Rand) []byte {
+	sp := speciesPool[rng.Intn(len(speciesPool))]
+	a := 3 + rng.Float64()*7
+	return []byte(fmt.Sprintf(
+		"data_%s\n_cell_length_a %.4f\n_cell_length_b %.4f\n_cell_length_c %.4f\n"+
+			"_cell_angle_alpha 90.0\n_cell_angle_beta 90.0\n_cell_angle_gamma 90.0\n"+
+			"_chemical_formula_sum '%s%d'\n", sp, a, a, a, sp, 1+rng.Intn(8)))
+}
+
+// JSONFile produces a nested metadata document.
+func JSONFile(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf(
+		`{"experiment":"exp-%d","temperature":%d,"valid":%t,"tags":["%s","%s"],"nested":{"run":%d}}`,
+		rng.Intn(10000), 200+rng.Intn(200), rng.Intn(2) == 0,
+		vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))], rng.Intn(100)))
+}
+
+// YAMLFile produces a flat key-value sidecar.
+func YAMLFile(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf("title: run %d\nsamples: %d\nconverged: %t\noperator: user%d\n",
+		rng.Intn(1000), rng.Intn(500), rng.Intn(2) == 0, rng.Intn(50)))
+}
+
+// XMLFile produces a small instrument log.
+func XMLFile(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf(
+		`<run id="%d"><sample name="%s"><temp>%d</temp></sample></run>`,
+		rng.Intn(10000), speciesPool[rng.Intn(len(speciesPool))], 100+rng.Intn(400)))
+}
+
+// PythonFile produces analysis code.
+func PythonFile(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf(
+		"# analysis script %d\nimport numpy\nfrom ase import io\n\ndef analyze_%s(atoms):\n    # compute statistics\n    return atoms\n",
+		rng.Intn(100), vocab[rng.Intn(len(vocab))]))
+}
+
+// CFile produces C source.
+func CFile(rng *rand.Rand) []byte {
+	return []byte(fmt.Sprintf(
+		"#include <stdio.h>\n/* kernel %d */\nint compute_%s(double *x, int n) {\n    return n;\n}\n",
+		rng.Intn(100), vocab[rng.Intn(len(vocab))]))
+}
+
+// ImageClass selects the class of a generated image.
+type ImageClass int
+
+// Image classes produced by Image.
+const (
+	ImgPhoto ImageClass = iota
+	ImgPlot
+	ImgDiagram
+	ImgMap
+)
+
+// Image renders a PNG of the requested class at the given edge size.
+// Map images carry a tEXt "location" chunk added by the caller.
+func Image(rng *rand.Rand, class ImageClass, size int) []byte {
+	img := image.NewRGBA(image.Rect(0, 0, size, size))
+	switch class {
+	case ImgPhoto:
+		// Red-leaning noise keeps the green/blue fraction below the map
+		// classifier's threshold, as real photographs do on average.
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				img.Set(x, y, color.RGBA{
+					R: uint8(rng.Intn(256)), G: uint8(rng.Intn(190)),
+					B: uint8(rng.Intn(190)), A: 255})
+			}
+		}
+	case ImgPlot:
+		fill(img, size, color.White)
+		for i := 0; i < size; i++ {
+			img.Set(size/10, i, color.Black)
+			img.Set(i, size-size/10, color.Black)
+			y := size/2 + int(float64(size/4)*rng.Float64()) - size/8
+			if y >= 0 && y < size {
+				img.Set(i, y, color.Black)
+			}
+		}
+	case ImgDiagram:
+		fill(img, size, color.White)
+		for b := 0; b < 2+rng.Intn(2); b++ {
+			c := color.RGBA{R: uint8(60 + rng.Intn(180)), G: uint8(rng.Intn(100)),
+				B: uint8(60 + rng.Intn(180)), A: 255}
+			x0, y0 := rng.Intn(size/2), rng.Intn(size/2)
+			for y := y0; y < y0+size/4; y++ {
+				for x := x0; x < x0+size/4; x++ {
+					img.Set(x, y, c)
+				}
+			}
+		}
+	case ImgMap:
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				if (x/(size/8+1)+y/(size/8+1))%2 == 0 {
+					img.Set(x, y, color.RGBA{R: 30, G: 140, B: 60, A: 255})
+				} else {
+					img.Set(x, y, color.RGBA{R: 30, G: 80, B: 180, A: 255})
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	_ = png.Encode(&buf, img)
+	return buf.Bytes()
+}
+
+func fill(img *image.RGBA, size int, c color.Color) {
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			img.Set(x, y, c)
+		}
+	}
+}
+
+// ZipFile produces an archive holding n small text entries.
+func ZipFile(rng *rand.Rand, entries int) []byte {
+	var buf bytes.Buffer
+	w := zip.NewWriter(&buf)
+	for i := 0; i < entries; i++ {
+		f, _ := w.Create(fmt.Sprintf("member%02d.txt", i))
+		_, _ = f.Write(TextFile(rng, 20))
+	}
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+// MapLocations is the location pool embedded in generated map images,
+// drawn from the gazetteer the images extractor recognizes.
+var MapLocations = []string{
+	"South America", "North America", "Europe", "Asia", "Africa",
+	"Montgomery, Minnesota", "Chicago, Illinois", "Lemont, Illinois",
+}

@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xtract/internal/extractors"
+	"xtract/internal/store"
+)
+
+// MaterializeMDF writes an MDF-like materials repository of the given
+// group count under root: VASP calculation directories with sidecar
+// metadata, CIF/XYZ structures, tabular results, and occasional images.
+// Returns the number of files written.
+func MaterializeMDF(s store.Store, root string, groups int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	files := 0
+	w := func(p string, data []byte) error {
+		files++
+		return s.Write(p, data)
+	}
+	for g := 0; g < groups; g++ {
+		dir := fmt.Sprintf("%s/dataset_%03d/calc_%05d", root, g%37, g)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // VASP calculation set
+			atoms := 4 + rng.Intn(28)
+			if err := w(dir+"/INCAR", INCARFile(rng)); err != nil {
+				return files, err
+			}
+			if err := w(dir+"/POSCAR", POSCARFile(rng, atoms)); err != nil {
+				return files, err
+			}
+			if err := w(dir+"/OUTCAR", OUTCARFile(rng, 1+rng.Intn(5))); err != nil {
+				return files, err
+			}
+			if err := w(dir+"/run.yaml", YAMLFile(rng)); err != nil {
+				return files, err
+			}
+		case 4, 5: // crystal structure + metadata
+			if err := w(dir+"/structure.cif", CIFFile(rng)); err != nil {
+				return files, err
+			}
+			if err := w(dir+"/meta.json", JSONFile(rng)); err != nil {
+				return files, err
+			}
+		case 6, 7: // tabular results
+			if err := w(dir+"/results.csv", CSVFile(rng, 5+rng.Intn(40), 3+rng.Intn(5))); err != nil {
+				return files, err
+			}
+		case 8: // instrument log + notes
+			if err := w(dir+"/log.xml", XMLFile(rng)); err != nil {
+				return files, err
+			}
+			if err := w(dir+"/notes.txt", TextFile(rng, 40+rng.Intn(200))); err != nil {
+				return files, err
+			}
+		case 9: // micrograph image
+			if err := w(dir+"/micrograph.png", Image(rng, ImgPhoto, 32)); err != nil {
+				return files, err
+			}
+		}
+	}
+	return files, nil
+}
+
+// MaterializeCDIAC writes a CDIAC-like uncurated archive: emissions
+// tables, READMEs, debug logs, Windows shortcuts, and files with
+// idiosyncratic extensions.
+func MaterializeCDIAC(s store.Store, root string, n int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	files := 0
+	w := func(p string, data []byte) error {
+		files++
+		return s.Write(p, data)
+	}
+	for i := 0; i < n; i++ {
+		dir := fmt.Sprintf("%s/ndp%03d", root, i%97)
+		var err error
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // emissions table
+			err = w(fmt.Sprintf("%s/emissions_%04d.csv", dir, i),
+				CSVFile(rng, 10+rng.Intn(60), 4))
+		case 4, 5: // free text documentation
+			err = w(fmt.Sprintf("%s/readme_%04d.txt", dir, i), TextFile(rng, 80))
+		case 6: // debug-cycle error log (irrelevant file)
+			err = w(fmt.Sprintf("%s/debug_%04d.log", dir, i),
+				[]byte("ERROR cycle 1\nERROR cycle 2\nretrying\n"))
+		case 7: // Windows desktop shortcut (irrelevant file)
+			err = w(fmt.Sprintf("%s/data_%04d.lnk", dir, i), []byte{0x4c, 0, 0, 0})
+		case 8: // idiosyncratic extension
+			err = w(fmt.Sprintf("%s/station_%04d.d%02d", dir, i, rng.Intn(60)),
+				CSVFile(rng, 5, 3))
+		case 9:
+			err = w(fmt.Sprintf("%s/meta_%04d.xml", dir, i), XMLFile(rng))
+		}
+		if err != nil {
+			return files, err
+		}
+	}
+	return files, nil
+}
+
+// GDriveCounts is the paper's Google Drive corpus composition (§5.8.2).
+type GDriveCounts struct {
+	Text, Tabular, Images, Presentations, Hierarchical, Compressed, Unknown int
+}
+
+// PaperGDriveCounts returns the case study's file counts: 4443 files.
+func PaperGDriveCounts() GDriveCounts {
+	return GDriveCounts{
+		Text: 2976, Tabular: 333, Images: 564, Presentations: 184,
+		Hierarchical: 1, Compressed: 6, Unknown: 379,
+	}
+}
+
+// Total sums the file counts.
+func (c GDriveCounts) Total() int {
+	return c.Text + c.Tabular + c.Images + c.Presentations +
+		c.Hierarchical + c.Compressed + c.Unknown
+}
+
+// Scale proportionally shrinks the corpus to roughly n files, keeping at
+// least one of each populated type.
+func (c GDriveCounts) Scale(n int) GDriveCounts {
+	total := c.Total()
+	f := func(v int) int {
+		s := v * n / total
+		if v > 0 && s == 0 {
+			s = 1
+		}
+		return s
+	}
+	return GDriveCounts{
+		Text: f(c.Text), Tabular: f(c.Tabular), Images: f(c.Images),
+		Presentations: f(c.Presentations), Hierarchical: f(c.Hierarchical),
+		Compressed: f(c.Compressed), Unknown: f(c.Unknown),
+	}
+}
+
+// MaterializeGDrive fills a Drive store with the given corpus mix,
+// mirroring the uncurated layout of a student's account.
+func MaterializeGDrive(d *store.DriveStore, counts GDriveCounts, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	files := 0
+	dirs := []string{"/Coursework", "/Research", "/Papers", "/Misc", "/Backups"}
+	dir := func() string { return dirs[rng.Intn(len(dirs))] }
+
+	for i := 0; i < counts.Text; i++ {
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/notes_%04d.txt", dir(), i),
+			TextFile(rng, 30+rng.Intn(300)), store.MimeText); err != nil {
+			return files, err
+		}
+		files++
+	}
+	for i := 0; i < counts.Tabular; i++ {
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/sheet_%04d.csv", dir(), i),
+			CSVFile(rng, 10+rng.Intn(40), 4), store.MimeCSV); err != nil {
+			return files, err
+		}
+		files++
+	}
+	for i := 0; i < counts.Images; i++ {
+		class := ImageClass(rng.Intn(4))
+		img := Image(rng, class, 24)
+		if class == ImgMap {
+			loc := MapLocations[rng.Intn(len(MapLocations))]
+			if tagged, err := extractors.InsertPNGText(img, "location", loc); err == nil {
+				img = tagged
+			}
+		}
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/fig_%04d.png", dir(), i),
+			img, store.MimePNG); err != nil {
+			return files, err
+		}
+		files++
+	}
+	for i := 0; i < counts.Presentations; i++ {
+		// Presentations are treated as free text (no presentation
+		// extractor, matching the paper).
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/slides_%04d.pptx", dir(), i),
+			TextFile(rng, 100), store.MimePresentation); err != nil {
+			return files, err
+		}
+		files++
+	}
+	for i := 0; i < counts.Hierarchical; i++ {
+		root := &extractors.XHDNode{
+			Name: "/", IsGroup: true,
+			Attrs: map[string]string{"experiment": "thesis-data"},
+			Children: []*extractors.XHDNode{
+				{Name: "scan", DType: 0, Dims: []uint64{64}, Payload: make([]byte, 512)},
+			},
+		}
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/data_%02d.h5", dir(), i),
+			extractors.EncodeXHD(root), store.MimeHDF); err != nil {
+			return files, err
+		}
+		files++
+	}
+	for i := 0; i < counts.Compressed; i++ {
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/archive_%02d.zip", dir(), i),
+			ZipFile(rng, 3+rng.Intn(5)), store.MimeZip); err != nil {
+			return files, err
+		}
+		files++
+	}
+	for i := 0; i < counts.Unknown; i++ {
+		// Untypable files, initially treated as free text.
+		if _, err := d.WriteWithMime(fmt.Sprintf("%s/blob_%04d", dir(), i),
+			TextFile(rng, 20), store.MimeUnknown); err != nil {
+			return files, err
+		}
+		files++
+	}
+	return files, nil
+}
+
+// MaterializeCOCO writes a COCO-like image corpus: n photographs.
+func MaterializeCOCO(s store.Store, root string, n int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("%s/train2014/img_%06d.png", root, i)
+		if err := s.Write(p, Image(rng, ImgPhoto, 24)); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}

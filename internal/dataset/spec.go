@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"time"
+
+	"xtract/internal/sim"
+)
+
+// RepoStats reports Table 1 repository characteristics.
+type RepoStats struct {
+	Name             string
+	SizeTB           float64
+	Files            int64
+	UniqueExtensions int
+}
+
+// repoModel parameterizes a synthetic repository's file population.
+type repoModel struct {
+	files int64
+	// size distribution (bounded Pareto).
+	sizeMin   int64
+	sizeAlpha float64
+	sizeCap   int64
+	// extension model: common pool + rare universe.
+	commonExts   int
+	rareProb     float64
+	rareUniverse int
+}
+
+// Models tuned to reproduce Table 1's totals (size, files, extensions).
+var repoModels = map[string]repoModel{
+	"mdf": {
+		files: 19968947, sizeMin: 2 << 10, sizeAlpha: 0.592, sizeCap: 16 << 30,
+		commonExts: 40, rareProb: 0.0020, rareUniverse: 12000,
+	},
+	"cdiac": {
+		files: 500001, sizeMin: 2 << 10, sizeAlpha: 0.655, sizeCap: 2 << 30,
+		commonExts: 25, rareProb: 0.0018, rareUniverse: 130,
+	},
+	"individual": {
+		files: 4443, sizeMin: 4 << 10, sizeAlpha: 0.58, sizeCap: 512 << 20,
+		commonExts: 28, rareProb: 0.03, rareUniverse: 45,
+	},
+}
+
+// Table1Stats streams the synthetic file population for the named
+// repository (mdf, cdiac, individual) and reports its characteristics.
+// scale in (0,1] shrinks the population proportionally for quick runs;
+// the reported Files count is scaled back up.
+func Table1Stats(name string, scale float64, seed int64) RepoStats {
+	m, ok := repoModels[name]
+	if !ok {
+		return RepoStats{Name: name}
+	}
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	rng := sim.NewRand(seed)
+	n := int64(float64(m.files) * scale)
+	var bytes int64
+	seen := make(map[int32]bool)
+	commonSeen := 0
+	commonMask := make([]bool, m.commonExts)
+	for i := int64(0); i < n; i++ {
+		bytes += rng.Pareto(m.sizeMin, m.sizeAlpha, m.sizeCap)
+		if rng.Float64() < m.rareProb {
+			id := int32(rng.Intn(m.rareUniverse))
+			if !seen[id] {
+				seen[id] = true
+			}
+		} else {
+			c := rng.Intn(m.commonExts)
+			if !commonMask[c] {
+				commonMask[c] = true
+				commonSeen++
+			}
+		}
+	}
+	return RepoStats{
+		Name:             name,
+		SizeTB:           float64(bytes) / scale / 1e12,
+		Files:            m.files,
+		UniqueExtensions: len(seen) + commonSeen,
+	}
+}
+
+// GroupSpec describes one file group for the simulator: its extractor,
+// file count, byte size, and sampled extraction duration.
+type GroupSpec struct {
+	Extractor string
+	Files     int
+	Bytes     int64
+	Duration  time.Duration
+}
+
+// MDFGroupSpecs streams n MDF-like group specs with the extractor mix
+// and duration distributions behind Figure 8: mostly quick sidecar
+// parses (yaml/json/xml/csv), a quarter DFT parses, and a small share of
+// very long ASE analyses whose heavy tail dominates the makespan.
+func MDFGroupSpecs(n int, seed int64, emit func(GroupSpec)) {
+	rng := sim.NewRand(seed)
+	for i := 0; i < n; i++ {
+		var g GroupSpec
+		switch p := rng.Float64(); {
+		case p < 0.017: // ASE: compute-heavy structure analysis
+			d := rng.LogNormal(1200*time.Second, 1.1)
+			if d > 7200*time.Second { // longest Figure 8 families: hours
+				d = 7200 * time.Second
+			}
+			g = GroupSpec{Extractor: "ase", Files: 2 + rng.Intn(4), Duration: d}
+		case p < 0.27: // DFT / MaterialsIO parses
+			g = GroupSpec{Extractor: "dft", Files: 3 + rng.Intn(4),
+				Duration: rng.LogNormal(10*time.Second, 0.8)}
+		case p < 0.47: // tabular results
+			g = GroupSpec{Extractor: "csv", Files: 1,
+				Duration: rng.LogNormal(2*time.Second, 0.5)}
+		case p < 0.65:
+			g = GroupSpec{Extractor: "yaml", Files: 1,
+				Duration: rng.LogNormal(1800*time.Millisecond, 0.5)}
+		case p < 0.83:
+			g = GroupSpec{Extractor: "json", Files: 1,
+				Duration: rng.LogNormal(1800*time.Millisecond, 0.5)}
+		default:
+			g = GroupSpec{Extractor: "xml", Files: 1,
+				Duration: rng.LogNormal(1800*time.Millisecond, 0.5)}
+		}
+		// Per-file sizes sum to ~61 TB over 2.5M groups (the full MDF).
+		g.Bytes = int64(g.Files) * rng.Pareto(32<<10, 0.63, 8<<30)
+		emit(g)
+	}
+}
+
+// ImageSortSpecs streams n short-duration image classification
+// invocations (the COCO workload of Figure 2).
+func ImageSortSpecs(n int, seed int64) []sim.InvocationSpec {
+	rng := sim.NewRand(seed)
+	out := make([]sim.InvocationSpec, n)
+	for i := range out {
+		out[i] = sim.InvocationSpec{
+			Tag:      "imagesort",
+			Files:    1,
+			Bytes:    rng.Pareto(50<<10, 1.1, 4<<20), // ~175 KB avg (14 GB / 80k)
+			Duration: rng.LogNormal(5*time.Second, 0.5),
+		}
+	}
+	return out
+}
+
+// MatIOSpecs streams n long-duration MaterialsIO group invocations (the
+// MDF subset workload of Figure 2: 200k groups, 1.1 TB).
+func MatIOSpecs(n int, seed int64) []sim.InvocationSpec {
+	rng := sim.NewRand(seed)
+	out := make([]sim.InvocationSpec, n)
+	for i := range out {
+		files := 3 + rng.Intn(4)
+		out[i] = sim.InvocationSpec{
+			Tag:      "matio",
+			Files:    files,
+			Bytes:    int64(files) * rng.Pareto(64<<10, 0.8, 1<<30), // ~5.5 MB/group
+			Duration: rng.LogNormal(13*time.Second, 0.7),
+		}
+	}
+	return out
+}
+
+// MidwayFileSpecs streams the 100k-file workload of Table 2 / Figure 5:
+// small mixed files with sub-second extraction.
+func MidwayFileSpecs(n int, seed int64) []sim.InvocationSpec {
+	rng := sim.NewRand(seed)
+	out := make([]sim.InvocationSpec, n)
+	for i := range out {
+		out[i] = sim.InvocationSpec{
+			Tag:      "mixed",
+			Files:    1,
+			Bytes:    rng.Pareto(8<<10, 0.63, 256<<20), // ~1 MB avg (Table 2 transfer volumes)
+			Duration: rng.LogNormal(800*time.Millisecond, 0.6),
+		}
+	}
+	return out
+}
+
+// GDriveInvocation is one Table 3 extractor invocation spec.
+type GDriveInvocation struct {
+	Extractor string
+	Duration  time.Duration
+	Transfer  time.Duration
+	Bytes     int64
+}
+
+// gdriveRow calibrates one Table 3 extractor row: invocation count and
+// mean extract/transfer times and file size.
+type gdriveRow struct {
+	invocations int
+	extract     time.Duration
+	transfer    time.Duration
+	bytes       int64
+}
+
+// paperGDriveRows holds Table 3's reported means.
+var paperGDriveRows = map[string]gdriveRow{
+	"keyword":      {3539, 2760 * time.Millisecond, 1380 * time.Millisecond, 559 << 10},
+	"tabular":      {333, 210 * time.Millisecond, 310 * time.Millisecond, 24 << 10},
+	"nullvalue":    {333, 840 * time.Millisecond, 300 * time.Millisecond, 24 << 10},
+	"images":       {774, 1060 * time.Millisecond, 800 * time.Millisecond, 4 << 20},
+	"hierarchical": {1, 2200 * time.Millisecond, 5900 * time.Millisecond, 14 << 20},
+}
+
+// GDriveInvocations streams the Table 3 workload: 4980 invocations over
+// 4443 files with per-extractor duration and transfer distributions
+// centered on the paper's means.
+func GDriveInvocations(seed int64) []GDriveInvocation {
+	rng := sim.NewRand(seed)
+	var out []GDriveInvocation
+	for _, name := range []string{"keyword", "tabular", "nullvalue", "images", "hierarchical"} {
+		row := paperGDriveRows[name]
+		for i := 0; i < row.invocations; i++ {
+			out = append(out, GDriveInvocation{
+				Extractor: name,
+				Duration:  rng.LogNormal(row.extract*4/5, 0.5),
+				Transfer:  rng.LogNormal(row.transfer*4/5, 0.5),
+				Bytes:     row.bytes,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package dedup
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSimhash(b *testing.B) {
+	data := []byte(fmt.Sprintf("%0.2048d perovskite annealing lattice spectra", 7))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simhash(data)
+	}
+}
+
+func BenchmarkDetectorReport(b *testing.B) {
+	d := NewDetector()
+	for i := 0; i < 2000; i++ {
+		d.Add(fmt.Sprintf("/f%d", i), []byte(fmt.Sprintf("document %d content lattice spectra", i/2)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Report()
+	}
+}

@@ -1,0 +1,191 @@
+// Package dedup implements the duplicate detection the paper lists as
+// future work ("explore methods for identifying duplicated or
+// nearly-duplicated data"): exact duplicates via content hashing, the
+// file-level deduplication its related work cites, plus near-duplicate
+// detection via 64-bit simhash over token shingles.
+package dedup
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// ExactKey returns the content-hash identity of a byte sequence.
+func ExactKey(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Simhash computes a 64-bit locality-sensitive hash over the token
+// 3-shingles of text content: documents differing by small edits land at
+// small Hamming distance.
+func Simhash(data []byte) uint64 {
+	tokens := tokenize(string(data))
+	var weights [64]int
+	emit := func(h uint64) {
+		for b := 0; b < 64; b++ {
+			if h&(1<<uint(b)) != 0 {
+				weights[b]++
+			} else {
+				weights[b]--
+			}
+		}
+	}
+	if len(tokens) < 3 {
+		for _, t := range tokens {
+			emit(hash64(t))
+		}
+	} else {
+		for i := 0; i+3 <= len(tokens); i++ {
+			emit(hash64(tokens[i] + " " + tokens[i+1] + " " + tokens[i+2]))
+		}
+	}
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if weights[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HammingDistance counts differing bits between two simhashes.
+func HammingDistance(a, b uint64) int { return bits.OnesCount64(a ^ b) }
+
+// Entry is one file registered with the detector.
+type Entry struct {
+	Path    string
+	Size    int64
+	Exact   string
+	Simhash uint64
+}
+
+// Report summarizes duplication across a registered corpus.
+type Report struct {
+	// Files is the number of registered entries.
+	Files int
+	// ExactGroups lists path groups with byte-identical content (size>1).
+	ExactGroups [][]string
+	// NearPairs lists path pairs within the near-duplicate threshold that
+	// are not exact duplicates.
+	NearPairs [][2]string
+	// RedundantBytes sums the sizes of all but one member of each exact
+	// group — the storage reclaimable by deduplication.
+	RedundantBytes int64
+}
+
+// Detector accumulates file fingerprints and reports duplicates.
+type Detector struct {
+	// MaxHamming is the near-duplicate threshold (default 3).
+	MaxHamming int
+	entries    []Entry
+}
+
+// NewDetector returns a detector with the default threshold.
+func NewDetector() *Detector { return &Detector{MaxHamming: 3} }
+
+// Add registers a file's content.
+func (d *Detector) Add(path string, data []byte) {
+	d.entries = append(d.entries, Entry{
+		Path:    path,
+		Size:    int64(len(data)),
+		Exact:   ExactKey(data),
+		Simhash: Simhash(data),
+	})
+}
+
+// Len reports registered entries.
+func (d *Detector) Len() int { return len(d.entries) }
+
+// Report computes the duplication summary. Near-pair search is
+// O(n²/bucket) over 16-bit prefix buckets, adequate for per-directory or
+// per-dataset scoping.
+func (d *Detector) Report() Report {
+	rep := Report{Files: len(d.entries)}
+
+	byExact := make(map[string][]Entry)
+	for _, e := range d.entries {
+		byExact[e.Exact] = append(byExact[e.Exact], e)
+	}
+	exactKeys := make([]string, 0, len(byExact))
+	for k := range byExact {
+		exactKeys = append(exactKeys, k)
+	}
+	sort.Strings(exactKeys)
+	for _, k := range exactKeys {
+		group := byExact[k]
+		if len(group) < 2 {
+			continue
+		}
+		paths := make([]string, 0, len(group))
+		for i, e := range group {
+			paths = append(paths, e.Path)
+			if i > 0 {
+				rep.RedundantBytes += e.Size
+			}
+		}
+		sort.Strings(paths)
+		rep.ExactGroups = append(rep.ExactGroups, paths)
+	}
+
+	// Near duplicates via banded LSH: the 64-bit simhash splits into four
+	// 16-bit bands; candidates share at least one band. Any pair within
+	// Hamming distance 3 is guaranteed to collide in some band
+	// (pigeonhole); larger thresholds are found with high probability.
+	type bandKey struct {
+		band int
+		bits uint16
+	}
+	buckets := make(map[bandKey][]Entry)
+	for _, e := range d.entries {
+		for band := 0; band < 4; band++ {
+			k := bandKey{band: band, bits: uint16(e.Simhash >> (16 * uint(band)))}
+			buckets[k] = append(buckets[k], e)
+		}
+	}
+	seen := make(map[[2]string]bool)
+	for _, bucket := range buckets {
+		for i := 0; i < len(bucket); i++ {
+			for j := i + 1; j < len(bucket); j++ {
+				a, b := bucket[i], bucket[j]
+				if a.Exact == b.Exact {
+					continue // already an exact duplicate
+				}
+				if HammingDistance(a.Simhash, b.Simhash) <= d.MaxHamming {
+					key := [2]string{a.Path, b.Path}
+					if key[0] > key[1] {
+						key[0], key[1] = key[1], key[0]
+					}
+					if !seen[key] {
+						seen[key] = true
+						rep.NearPairs = append(rep.NearPairs, key)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(rep.NearPairs, func(i, j int) bool {
+		if rep.NearPairs[i][0] != rep.NearPairs[j][0] {
+			return rep.NearPairs[i][0] < rep.NearPairs[j][0]
+		}
+		return rep.NearPairs[i][1] < rep.NearPairs[j][1]
+	})
+	return rep
+}

@@ -1,0 +1,136 @@
+package dedup
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactKeyDeterministic(t *testing.T) {
+	a := ExactKey([]byte("hello"))
+	b := ExactKey([]byte("hello"))
+	c := ExactKey([]byte("hello!"))
+	if a != b {
+		t.Fatal("same content, different keys")
+	}
+	if a == c {
+		t.Fatal("different content, same key")
+	}
+	if len(a) != 64 {
+		t.Fatalf("key length = %d", len(a))
+	}
+}
+
+func TestSimhashSimilarity(t *testing.T) {
+	base := "the perovskite solar cell exhibits high efficiency under thermal annealing conditions"
+	similar := "the perovskite solar cell exhibits high efficiency under thermal annealing regimes"
+	different := "completely unrelated text about databases and network protocols and caching"
+	hBase := Simhash([]byte(base))
+	hSim := Simhash([]byte(similar))
+	hDiff := Simhash([]byte(different))
+	if d := HammingDistance(hBase, hSim); d > 16 {
+		t.Fatalf("similar docs distance = %d, want small", d)
+	}
+	near := HammingDistance(hBase, hSim)
+	far := HammingDistance(hBase, hDiff)
+	if near >= far {
+		t.Fatalf("similar (%d) not closer than different (%d)", near, far)
+	}
+}
+
+func TestSimhashIdentical(t *testing.T) {
+	f := func(text string) bool {
+		return Simhash([]byte(text)) == Simhash([]byte(text))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if HammingDistance(0, 0) != 0 {
+		t.Fatal("d(0,0) != 0")
+	}
+	if HammingDistance(0, ^uint64(0)) != 64 {
+		t.Fatal("d(0,~0) != 64")
+	}
+	if HammingDistance(0b1010, 0b1001) != 2 {
+		t.Fatal("d(1010,1001) != 2")
+	}
+}
+
+func TestDetectorExactGroups(t *testing.T) {
+	d := NewDetector()
+	d.Add("/a/readme.txt", []byte("same content"))
+	d.Add("/b/readme-copy.txt", []byte("same content"))
+	d.Add("/c/other.txt", []byte("different content here entirely unrelated"))
+	rep := d.Report()
+	if rep.Files != 3 || d.Len() != 3 {
+		t.Fatalf("files = %d", rep.Files)
+	}
+	if len(rep.ExactGroups) != 1 || len(rep.ExactGroups[0]) != 2 {
+		t.Fatalf("exact groups = %v", rep.ExactGroups)
+	}
+	if rep.RedundantBytes != int64(len("same content")) {
+		t.Fatalf("redundant bytes = %d", rep.RedundantBytes)
+	}
+}
+
+func TestDetectorNearPairs(t *testing.T) {
+	d := NewDetector()
+	d.MaxHamming = 10
+	base := strings.Repeat("annealing lattice diffraction spectra measurement sample crystal substrate ", 8)
+	d.Add("/v1.txt", []byte(base+"final run one"))
+	d.Add("/v2.txt", []byte(base+"final run two"))
+	d.Add("/other.txt", []byte("tiny"))
+	rep := d.Report()
+	found := false
+	for _, p := range rep.NearPairs {
+		if p[0] == "/v1.txt" && p[1] == "/v2.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("near pair not detected: %v", rep.NearPairs)
+	}
+}
+
+func TestDetectorExactExcludedFromNear(t *testing.T) {
+	d := NewDetector()
+	d.Add("/a", []byte("identical words here for everyone"))
+	d.Add("/b", []byte("identical words here for everyone"))
+	rep := d.Report()
+	if len(rep.NearPairs) != 0 {
+		t.Fatalf("exact duplicates listed as near pairs: %v", rep.NearPairs)
+	}
+	if len(rep.ExactGroups) != 1 {
+		t.Fatalf("exact groups = %v", rep.ExactGroups)
+	}
+}
+
+func TestDetectorEmpty(t *testing.T) {
+	rep := NewDetector().Report()
+	if rep.Files != 0 || len(rep.ExactGroups) != 0 || len(rep.NearPairs) != 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestNearPairsDeterministicOrder(t *testing.T) {
+	build := func() Report {
+		d := NewDetector()
+		d.MaxHamming = 64 // everything matches
+		d.Add("/c", []byte("gamma delta epsilon"))
+		d.Add("/a", []byte("alpha beta gamma"))
+		d.Add("/b", []byte("beta gamma delta"))
+		return d.Report()
+	}
+	r1, r2 := build(), build()
+	if len(r1.NearPairs) != len(r2.NearPairs) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for i := range r1.NearPairs {
+		if r1.NearPairs[i] != r2.NearPairs[i] {
+			t.Fatal("nondeterministic pair order")
+		}
+	}
+}

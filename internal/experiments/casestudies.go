@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"xtract/internal/dataset"
+	"xtract/internal/extractors"
+	"xtract/internal/family"
+	"xtract/internal/sim"
+)
+
+// LatencyRow is one component of the Figure 3 breakdown.
+type LatencyRow struct {
+	Component string
+	Mean      time.Duration
+	// Measured marks rows timed from this repository's live code rather
+	// than calibrated from the paper's network environment.
+	Measured bool
+}
+
+// Figure3 reproduces the per-component latency breakdown for a single
+// unbatched keyword extraction dispatched to River with a remote fetch.
+// Network and cloud-service legs use constants calibrated from the
+// paper's Figure 3; compute legs (grouping, min-transfers, extraction)
+// are measured live from this repository's implementations.
+func Figure3() []LatencyRow {
+	// Live measurements.
+	rng := rand.New(rand.NewSource(11))
+	doc := dataset.TextFile(rng, 4000) // a README-sized free-text document
+
+	groups := []family.Group{{ID: "g", Files: []string{"/doc.txt"}, Extractor: "keyword"}}
+	startMT := time.Now()
+	_ = family.MinTransfers(groups, 16, rng)
+	mtTime := time.Since(startMT)
+
+	kw := extractors.NewKeyword(15)
+	startKE := time.Now()
+	_, _ = kw.Extract(&groups[0], map[string][]byte{"/doc.txt": doc})
+	keTime := time.Since(startKE)
+
+	return []LatencyRow{
+		{Component: "crawler: Globus auth + listing (t_cs)", Mean: 600 * time.Millisecond},
+		{Component: "crawler: grouping + min-transfers", Mean: mtTime, Measured: true},
+		{Component: "crawler→service SQS hop", Mean: 539 * time.Millisecond},
+		{Component: "Xtract service: RDS resolve (t_xs)", Mean: 420 * time.Millisecond},
+		{Component: "funcX submit + auth (t_fx)", Mean: 510 * time.Millisecond},
+		{Component: "keyword extraction (t_ke)", Mean: keTime, Measured: true},
+		{Component: "Globus HTTPS fetch (t_gh)", Mean: 1380 * time.Millisecond},
+		{Component: "Google Drive fetch (t_gd)", Mean: 2000 * time.Millisecond},
+	}
+}
+
+// PrefetchPoint is one Figure 6 sample.
+type PrefetchPoint struct {
+	Nodes        int
+	Workers      int
+	CrawlTime    time.Duration
+	TransferTime time.Duration
+	Completion   time.Duration
+}
+
+// Figure6 reproduces the prefetch pipeline: 200k MDF files move from
+// Petrel to Midway over 10 concurrent Globus jobs while 4–32 Midway
+// nodes (28 workers each) extract them as they land.
+func Figure6(nodeCounts []int, nFiles int, seed int64) []PrefetchPoint {
+	out := make([]PrefetchPoint, 0, len(nodeCounts))
+	for _, nodes := range nodeCounts {
+		rng := sim.NewRand(seed)
+		s := sim.New()
+		link := sim.NewLinkBetween(s, "petrel", "midway")
+		workers := sim.NewStation(s, nodes*28)
+
+		// Crawl finishes quickly relative to the data plane (the paper:
+		// "time required to crawl the data is small").
+		crawlTime, _ := sim.SimulateCrawl(sim.DefaultCrawlModel(), nFiles/50, 50, 16)
+
+		var transferDone, completion time.Duration
+		remaining := nFiles
+		for i := 0; i < nFiles; i++ {
+			size := rng.Pareto(64<<10, 0.8, 1<<30)
+			dur := rng.LogNormal(3500*time.Millisecond, 0.6)
+			link.Send(size, func() {
+				if s.Now() > transferDone {
+					transferDone = s.Now()
+				}
+				workers.Enqueue(dur, func() {
+					remaining--
+					if s.Now() > completion {
+						completion = s.Now()
+					}
+				})
+			})
+		}
+		s.Run()
+		out = append(out, PrefetchPoint{
+			Nodes:        nodes,
+			Workers:      nodes * 28,
+			CrawlTime:    crawlTime,
+			TransferTime: transferDone,
+			Completion:   completion,
+		})
+	}
+	return out
+}
+
+// MinTransfersRow is one Figure 7 bar.
+type MinTransfersRow struct {
+	Source         string
+	Mode           string // "min-transfers" or "regular"
+	CrawlTime      time.Duration
+	AlgorithmTime  time.Duration // measured live overhead of min-transfers
+	TransferTime   time.Duration
+	RedundantFiles int
+	RedundantGB    float64
+	TotalGB        float64
+}
+
+// figure7Corpus builds the 100k-file, ~161 GB corpus with 3246
+// multi-file overlapping-group directories whose naive shipping moves
+// ~20k files (~32 GB) redundantly.
+func figure7Corpus(seed int64) ([]family.Group, map[string]int64) {
+	rng := sim.NewRand(seed)
+	var groups []family.Group
+	sizes := make(map[string]int64)
+	newFile := func(name string) string {
+		sizes[name] = rng.Pareto(96<<10, 0.85, 256<<20) // ~1.6 MB avg (161 GB / 100k)
+		return name
+	}
+	fileID := 0
+	fname := func(dir string) string {
+		fileID++
+		return fmt.Sprintf("%s/f%06d.dat", dir, fileID)
+	}
+	// 3246 directories with a shared file referenced by 7 groups each.
+	const overlapDirs = 3246
+	for d := 0; d < overlapDirs; d++ {
+		dir := fmt.Sprintf("/overlap/d%04d", d)
+		shared := newFile(fname(dir))
+		for g := 0; g < 7; g++ {
+			own := newFile(fname(dir))
+			groups = append(groups, family.Group{
+				ID:    fmt.Sprintf("%s#g%d", dir, g),
+				Files: []string{shared, own},
+			})
+		}
+	}
+	// Fill the rest with single-file groups up to 100k files.
+	for fileID < 100000 {
+		dir := fmt.Sprintf("/plain/d%04d", fileID/40)
+		f := newFile(fname(dir))
+		groups = append(groups, family.Group{ID: f + "#g", Files: []string{f}})
+	}
+	return groups, sizes
+}
+
+// Figure7 reproduces the min-transfers evaluation: 100k files crawled on
+// Midway2 and Petrel, then moved to Jetstream with and without the
+// min-transfers packaging. The min-cut algorithm itself runs for real;
+// crawl baselines and link rates are calibrated constants.
+func Figure7(seed int64) []MinTransfersRow {
+	groups, sizes := figure7Corpus(seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Run the real algorithms, timing min-transfers' overhead.
+	start := time.Now()
+	minFams := family.MinTransfers(groups, 16, rng)
+	algoTime := time.Since(start)
+	naiveFams := family.Naive(groups)
+
+	sources := []struct {
+		name      string
+		crawlBase time.Duration
+		linkTo    string
+	}{
+		{"midway2", 913 * time.Second, "jetstream"},
+		{"petrel", 1005 * time.Second, "jetstream"},
+	}
+	var out []MinTransfersRow
+	for _, src := range sources {
+		lp := sim.LinkBetween(src.name, src.linkTo)
+		for _, mode := range []struct {
+			name string
+			fams []family.Family
+			algo time.Duration
+		}{
+			{"min-transfers", minFams, algoTime},
+			{"regular", naiveFams, 0},
+		} {
+			bytes := family.TotalTransferBytes(mode.fams, sizes)
+			nFiles := 0
+			for _, fam := range mode.fams {
+				seen := make(map[string]bool)
+				for _, g := range fam.Groups {
+					for _, f := range g.Files {
+						if !seen[f] {
+							seen[f] = true
+							nFiles++
+						}
+					}
+				}
+			}
+			xfer := time.Duration(float64(bytes)/lp.BytesPerSec*float64(time.Second)) +
+				time.Duration(nFiles)*lp.PerFile
+			out = append(out, MinTransfersRow{
+				Source:         src.name,
+				Mode:           mode.name,
+				CrawlTime:      src.crawlBase + mode.algo,
+				AlgorithmTime:  mode.algo,
+				TransferTime:   xfer,
+				RedundantFiles: family.RedundantTransfers(mode.fams),
+				RedundantGB:    float64(family.RedundantBytes(mode.fams, sizes)) / 1e9,
+				TotalGB:        float64(bytes) / 1e9,
+			})
+		}
+	}
+	return out
+}
+
+// MDFRun is the Figure 8 full-repository case study output.
+type MDFRun struct {
+	Groups           int
+	Workers          int
+	CrawlTime        time.Duration
+	Walltime         time.Duration
+	CoreHours        float64
+	RestartAt        time.Duration
+	ResubmittedTasks int
+	// ThroughputTrace buckets completed groups per interval.
+	ThroughputTrace []sim.TracePoint
+	// Cumulative tracks total groups done over time.
+	Cumulative []sim.TracePoint
+	// Families samples per-family (start, duration, longest extractor).
+	Families []FamilySample
+}
+
+// FamilySample is one point of Figure 8's scatter plot.
+type FamilySample struct {
+	Start     time.Duration
+	Duration  time.Duration
+	Extractor string
+}
+
+// workerHeap tracks per-worker next-free times for the Figure 8 list
+// scheduler.
+type workerHeap []time.Duration
+
+func (h workerHeap) Len() int            { return len(h) }
+func (h workerHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Figure8 reproduces the full-MDF case study: nGroups file groups
+// processed on a Theta endpoint with the given worker count, under an
+// allocation that ends at allocLimit and restarts after restartLag with
+// checkpointed metadata (in-flight groups re-run; finished groups are
+// reloaded for free).
+func Figure8(nGroups, workers int, allocLimit, restartLag time.Duration, seed int64) MDFRun {
+	run := MDFRun{Groups: nGroups, Workers: workers}
+	// Crawl: 16 parallel crawlers over the repository (paper: 26.3 min).
+	run.CrawlTime, _ = sim.SimulateCrawl(sim.DefaultCrawlModel(), nGroups/45, 45, 16)
+
+	costs := sim.DefaultCosts()
+	const xtractBatch = 8
+	dispatchPerGroup := costs.DispatchPerTask/xtractBatch + costs.DispatchPerFile*4 +
+		costs.SerializePerInvocation
+
+	h := make(workerHeap, workers)
+	heap.Init(&h)
+	restartAt := allocLimit + restartLag
+	var dispatchReady time.Duration
+	var coreSeconds float64
+	var bucketWidth = 10 * time.Minute
+	buckets := make(map[int]float64)
+	var done int
+	var cumulative []sim.TracePoint
+	var walltime time.Duration
+
+	// Groups are submitted in crawl order, as the paper does. The first
+	// buckets show elevated throughput (every worker starts on a fresh
+	// short group before its share of multi-hour ASE families pins it),
+	// reproducing the paper's "higher throughput in the first hour ...
+	// many long-duration tasks saturate multiple funcX workers".
+	specs := make([]dataset.GroupSpec, 0, nGroups)
+	dataset.MDFGroupSpecs(nGroups, seed, func(g dataset.GroupSpec) {
+		specs = append(specs, g)
+	})
+
+	sampleEvery := nGroups/2000 + 1
+	i := 0
+	for _, g := range specs {
+		i++
+		dispatchReady += dispatchPerGroup
+		wFree := heap.Pop(&h).(time.Duration)
+		start := wFree
+		if dispatchReady > start {
+			start = dispatchReady
+		}
+		end := start + g.Duration
+		if start < allocLimit && end > allocLimit {
+			// Allocation ended mid-task: funcX reports the family lost,
+			// Xtract resubmits it after the restart; checkpointed groups
+			// reload, so only this group's work repeats.
+			run.ResubmittedTasks++
+			coreSeconds += (allocLimit - start).Seconds() // wasted work
+			start = restartAt
+			end = start + g.Duration
+		} else if start >= allocLimit && start < restartAt {
+			start = restartAt
+			end = start + g.Duration
+		}
+		heap.Push(&h, end)
+		coreSeconds += g.Duration.Seconds()
+		done++
+		buckets[int(end/bucketWidth)]++
+		if end > walltime {
+			walltime = end
+		}
+		if i%sampleEvery == 0 {
+			cumulative = append(cumulative, sim.TracePoint{At: end})
+			run.Families = append(run.Families, FamilySample{
+				Start: start, Duration: g.Duration, Extractor: g.Extractor,
+			})
+		}
+	}
+	_ = done
+	run.Walltime = walltime
+	run.CoreHours = coreSeconds / 3600
+	run.RestartAt = restartAt
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		run.ThroughputTrace = append(run.ThroughputTrace, sim.TracePoint{
+			At:    time.Duration(k) * bucketWidth,
+			Value: buckets[k] / bucketWidth.Seconds(),
+		})
+	}
+	// Completion happens out of submission order; the cumulative curve is
+	// the rank of each sampled completion time.
+	sort.Slice(cumulative, func(i, j int) bool { return cumulative[i].At < cumulative[j].At })
+	for idx := range cumulative {
+		cumulative[idx].Value = float64((idx + 1) * sampleEvery)
+	}
+	run.Cumulative = cumulative
+	return run
+}
+
+// TransferVsInSitu reproduces the §5.8.1 headline: extracting MDF in
+// place on Theta versus just transferring the repository to Theta.
+// Returns (extraction walltime, transfer-only time).
+func TransferVsInSitu(nGroups, workers int, seed int64) (extract, transfer time.Duration) {
+	run := Figure8(nGroups, workers, time.Duration(1)<<60, 0, seed) // no restart
+	var bytes int64
+	dataset.MDFGroupSpecs(nGroups, seed, func(g dataset.GroupSpec) { bytes += g.Bytes })
+	lp := sim.LinkBetween("petrel", "theta")
+	files := nGroups * 3
+	transfer = time.Duration(float64(bytes)/lp.BytesPerSec*float64(time.Second)) +
+		time.Duration(files)*lp.PerFile
+	return run.Walltime, transfer
+}
+
+// GDriveRow is one Table 3 row.
+type GDriveRow struct {
+	Extractor   string
+	Invocations int
+	AvgExtract  time.Duration
+	AvgTransfer time.Duration
+	AvgMB       float64
+}
+
+// GDriveResult is the Table 3 case study output.
+type GDriveResult struct {
+	Rows       []GDriveRow
+	Completion time.Duration
+	PodHours   float64
+	ColdStarts int
+}
+
+// Table3 reproduces the Google Drive case study: 4980 extractor
+// invocations over a student's 4443-file Drive corpus, processed by 30
+// River Kubernetes pods that must fetch every file through the Drive API
+// (no shared disk) and pay ~70 s container cold starts.
+func Table3(seed int64) GDriveResult {
+	invs := dataset.GDriveInvocations(seed)
+	s := sim.New()
+	pods := sim.NewStation(s, 30)
+	// Drive-API fetch concurrency is limited; fetches ride a capacity-6
+	// station whose service time is each invocation's sampled fetch time.
+	fetch := sim.NewStation(s, 6)
+	coldLeft := map[string]int{} // container -> pods still cold
+	const coldStart = 70 * time.Second
+
+	agg := make(map[string]*GDriveRow)
+	var completion time.Duration
+	coldStarts := 0
+	for _, inv := range invs {
+		inv := inv
+		row, ok := agg[inv.Extractor]
+		if !ok {
+			row = &GDriveRow{Extractor: inv.Extractor}
+			agg[inv.Extractor] = row
+		}
+		row.Invocations++
+		row.AvgExtract += inv.Duration
+		row.AvgTransfer += inv.Transfer
+		row.AvgMB += float64(inv.Bytes) / 1e6
+		fetch.Enqueue(inv.Transfer, func() {
+			service := inv.Duration
+			if _, seen := coldLeft[inv.Extractor]; !seen {
+				coldLeft[inv.Extractor] = 30
+			}
+			if coldLeft[inv.Extractor] > 0 {
+				coldLeft[inv.Extractor]--
+				coldStarts++
+				service += coldStart
+			}
+			pods.Enqueue(service, func() {
+				if s.Now() > completion {
+					completion = s.Now()
+				}
+			})
+		})
+	}
+	s.Run()
+
+	var rows []GDriveRow
+	for _, name := range []string{"keyword", "tabular", "nullvalue", "images", "hierarchical"} {
+		r := agg[name]
+		n := time.Duration(r.Invocations)
+		rows = append(rows, GDriveRow{
+			Extractor:   name,
+			Invocations: r.Invocations,
+			AvgExtract:  r.AvgExtract / n,
+			AvgTransfer: r.AvgTransfer / n,
+			AvgMB:       r.AvgMB / float64(r.Invocations),
+		})
+	}
+	return GDriveResult{
+		Rows:       rows,
+		Completion: completion,
+		PodHours:   pods.BusyTotal.Hours(),
+		ColdStarts: coldStarts,
+	}
+}

@@ -1,0 +1,267 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5). Each driver reproduces the experiment's
+// workload and mechanism — real algorithms (min-transfers, batching,
+// placement) over the calibrated discrete-event simulator or the live
+// extractor code — and returns structured rows that cmd/xtract-bench
+// prints in the paper's format and bench_test.go asserts shapes against.
+package experiments
+
+import (
+	"time"
+
+	"xtract/internal/dataset"
+	"xtract/internal/sim"
+)
+
+// Table1 reproduces Table 1: characteristics of the example repositories.
+// scale shrinks the synthetic population sampling for quick runs.
+func Table1(scale float64, seed int64) []dataset.RepoStats {
+	return []dataset.RepoStats{
+		dataset.Table1Stats("mdf", scale, seed),
+		dataset.Table1Stats("cdiac", scale, seed+1),
+		dataset.Table1Stats("individual", scale, seed+2),
+	}
+}
+
+// ScalingPoint is one (workers, completion) sample of Figure 2.
+type ScalingPoint struct {
+	Workers    int
+	Tasks      int
+	Completion time.Duration
+	Throughput float64 // invocations per second
+}
+
+// scalingSpecs builds the Figure 2 workloads.
+func scalingSpecs(extractor string, n int, seed int64) ([]sim.InvocationSpec, int) {
+	switch extractor {
+	case "imagesort":
+		// Xtract batch size 2 for ImageSort (§5.2).
+		return dataset.ImageSortSpecs(n, seed), 2
+	default:
+		// Xtract batch size 8 for MaterialsIO (§5.2).
+		return dataset.MatIOSpecs(n, seed), 8
+	}
+}
+
+// Figure2Strong reproduces Figure 2(a): completion time for a fixed
+// 200k-invocation workload across worker counts on a Theta-like endpoint.
+func Figure2Strong(extractor string, workerCounts []int, nTasks int, seed int64) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		specs, xb := scalingSpecs(extractor, nTasks, seed)
+		s := sim.New()
+		p := sim.NewPipeline(s, sim.ThetaCosts(), xb, 16)
+		ep := sim.NewEndpoint(s, "theta", w, 0)
+		get := p.Submit(specs, ep, "cont-"+extractor, nil)
+		s.Run()
+		res := get()
+		out = append(out, ScalingPoint{
+			Workers:    w,
+			Tasks:      nTasks,
+			Completion: res.Completion,
+			Throughput: float64(res.Invocations) / res.Completion.Seconds(),
+		})
+	}
+	return out
+}
+
+// Figure2Weak reproduces Figure 2(b): completion time with a fixed 24
+// invocations per worker.
+func Figure2Weak(extractor string, workerCounts []int, perWorker int, seed int64) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		n := perWorker * w
+		specs, xb := scalingSpecs(extractor, n, seed)
+		s := sim.New()
+		p := sim.NewPipeline(s, sim.ThetaCosts(), xb, 16)
+		ep := sim.NewEndpoint(s, "theta", w, 0)
+		get := p.Submit(specs, ep, "cont-"+extractor, nil)
+		s.Run()
+		res := get()
+		out = append(out, ScalingPoint{
+			Workers:    w,
+			Tasks:      n,
+			Completion: res.Completion,
+			Throughput: float64(res.Invocations) / res.Completion.Seconds(),
+		})
+	}
+	return out
+}
+
+// PeakThroughput reports the §5.2.3 metric: the maximum extraction
+// throughput over the strong-scaling sweep.
+func PeakThroughput(extractor string, nTasks int, seed int64) float64 {
+	best := 0.0
+	for _, pt := range Figure2Strong(extractor, []int{512, 1024, 2048, 4096, 8192}, nTasks, seed) {
+		if pt.Throughput > best {
+			best = pt.Throughput
+		}
+	}
+	return best
+}
+
+// CrawlPoint is one Figure 4 sample.
+type CrawlPoint struct {
+	Threads    int
+	Completion time.Duration
+	Trace      []sim.TracePoint
+}
+
+// Figure4 reproduces the crawl parallelization experiment: 2.3M MDF files
+// crawled with 2–32 worker threads on a t3.medium-like host whose NIC
+// congests beyond 16 threads.
+func Figure4(threads []int) []CrawlPoint {
+	model := sim.DefaultCrawlModel()
+	const dirs, filesPerDir = 46000, 50 // 2.3M files
+	out := make([]CrawlPoint, 0, len(threads))
+	for _, th := range threads {
+		completion, trace := sim.SimulateCrawl(model, dirs, filesPerDir, th)
+		// Thin the trace for reporting.
+		thinned := make([]sim.TracePoint, 0, 128)
+		step := len(trace)/128 + 1
+		for i := 0; i < len(trace); i += step {
+			thinned = append(thinned, trace[i])
+		}
+		out = append(out, CrawlPoint{Threads: th, Completion: completion, Trace: thinned})
+	}
+	return out
+}
+
+// BatchPoint is one cell of the Figure 5 batching surface.
+type BatchPoint struct {
+	XtractBatch int
+	FuncXBatch  int
+	TasksPerSec float64
+}
+
+// Figure5 reproduces the batching experiment: 100k extraction tasks on
+// 224 Midway workers across a grid of Xtract and funcX batch sizes.
+func Figure5(xtractBatches, funcXBatches []int, nTasks, workers int, seed int64) []BatchPoint {
+	var out []BatchPoint
+	for _, fxb := range funcXBatches {
+		for _, xb := range xtractBatches {
+			specs := dataset.MidwayFileSpecs(nTasks, seed)
+			s := sim.New()
+			p := sim.NewPipeline(s, sim.MidwayCosts(), xb, fxb)
+			ep := sim.NewEndpoint(s, "midway", workers, 0)
+			get := p.Submit(specs, ep, "cont-mixed", nil)
+			s.Run()
+			res := get()
+			out = append(out, BatchPoint{
+				XtractBatch: xb,
+				FuncXBatch:  fxb,
+				TasksPerSec: float64(res.Invocations) / res.Completion.Seconds(),
+			})
+		}
+	}
+	return out
+}
+
+// BestBatch returns the grid cell with the highest throughput.
+func BestBatch(points []BatchPoint) BatchPoint {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TasksPerSec > best.TasksPerSec {
+			best = p
+		}
+	}
+	return best
+}
+
+// OffloadRow is one Table 2 row.
+type OffloadRow struct {
+	System       string
+	Percent      int
+	TransferTime time.Duration
+	Completion   time.Duration
+}
+
+// Table2 reproduces the offloading comparison: extracting 100k files on
+// 56 Midway workers while offloading 0/10/20% to 10 Jetstream workers,
+// for Xtract and for the Tika baseline. Tika's generic parsers are ~20%
+// slower and it has no task batching.
+func Table2(seed int64) []OffloadRow {
+	var out []OffloadRow
+	for _, system := range []string{"xtract", "tika"} {
+		for _, pct := range []int{0, 10, 20} {
+			row := runOffload(system, pct, seed)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// runOffload executes one Table 2 cell on the simulator.
+func runOffload(system string, pct int, seed int64) OffloadRow {
+	const nTasks = 100000
+	specs := dataset.MidwayFileSpecs(nTasks, seed)
+	rng := sim.NewRand(seed + int64(pct))
+
+	s := sim.New()
+	durFactor := 1.0
+	xb, fxb := 8, 16
+	if system == "tika" {
+		durFactor = 1.22 // generic parser penalty (§5.6: Xtract ~20% faster)
+		xb, fxb = 1, 1   // Tika has no batching; one request per file
+	}
+	costs := sim.MidwayCosts()
+	if system == "tika" {
+		// Tika requests skip the funcX control plane; local HTTP only.
+		costs = sim.PipelineCosts{DispatchPerTask: 2 * time.Millisecond}
+	}
+	midway := sim.NewPipeline(s, costs, xb, fxb)
+	midwayEP := sim.NewEndpoint(s, "midway", 56, 0)
+	jetstream := sim.NewPipeline(s, costs, xb, fxb)
+	jetstreamEP := sim.NewEndpoint(s, "jetstream", 10, 0)
+	link := sim.NewLinkBetween(s, "midway", "jetstream")
+
+	var local, remote []sim.InvocationSpec
+	for _, spec := range specs {
+		if rng.Intn(100) < pct {
+			// Jetstream's Haswell cloud nodes run these tasks slightly
+			// faster per worker (calibrated from Table 2).
+			spec.Duration = time.Duration(float64(spec.Duration) * 0.85 * durFactor)
+			remote = append(remote, spec)
+		} else {
+			spec.Duration = time.Duration(float64(spec.Duration) * durFactor)
+			local = append(local, spec)
+		}
+	}
+	getLocal := midway.Submit(local, midwayEP, "c", nil)
+	// Remote tasks flow through the link first (batch transfer), then
+	// extraction begins as data lands, per the paper's pipelined setup.
+	var transferDone time.Duration
+	var getRemote func() sim.RunResult
+	if len(remote) > 0 {
+		sizes := make([]int64, len(remote))
+		for i, r := range remote {
+			sizes[i] = r.Bytes
+		}
+		remoteCopy := remote
+		link.SendBatch(sizes, func() {
+			transferDone = s.Now()
+		})
+		// Extraction of each remote file begins once its bytes land; we
+		// approximate per-file arrival by submitting the remote batch
+		// when the first chunk lands and letting worker availability
+		// pipeline the rest (transfers finish well before workers drain).
+		getRemote = jetstream.Submit(remoteCopy, jetstreamEP, "c", nil)
+	}
+	s.Run()
+	completion := getLocal().Completion
+	if getRemote != nil {
+		r := getRemote().Completion
+		if transferDone > r {
+			r = transferDone
+		}
+		if r > completion {
+			completion = r
+		}
+	}
+	return OffloadRow{
+		System:       system,
+		Percent:      pct,
+		TransferTime: transferDone,
+		Completion:   completion,
+	}
+}

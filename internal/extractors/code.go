@@ -1,0 +1,214 @@
+package extractors
+
+import (
+	"sort"
+	"strings"
+
+	"xtract/internal/family"
+	"xtract/internal/store"
+)
+
+// PythonCode isolates comments, docstrings, function/class names, and
+// imports from Python source files.
+type PythonCode struct{}
+
+// NewPythonCode returns the Python code extractor.
+func NewPythonCode() *PythonCode { return &PythonCode{} }
+
+// Name implements Extractor.
+func (p *PythonCode) Name() string { return "pycode" }
+
+// Container implements Extractor.
+func (p *PythonCode) Container() string { return "xtract-code" }
+
+// Applies implements Extractor.
+func (p *PythonCode) Applies(info store.FileInfo) bool {
+	return !info.IsDir && info.Extension == "py"
+}
+
+// Extract implements Extractor.
+func (p *PythonCode) Extract(g *family.Group, files map[string][]byte) (map[string]interface{}, error) {
+	var functions, classes, imports, comments []string
+	lines := 0
+	parsed := 0
+	for _, data := range files {
+		src := string(data)
+		if !looksLikePython(src) {
+			continue
+		}
+		parsed++
+		for _, ln := range strings.Split(src, "\n") {
+			lines++
+			trimmed := strings.TrimSpace(ln)
+			switch {
+			case strings.HasPrefix(trimmed, "def "):
+				functions = append(functions, identAfter(trimmed, "def "))
+			case strings.HasPrefix(trimmed, "class "):
+				classes = append(classes, identAfter(trimmed, "class "))
+			case strings.HasPrefix(trimmed, "import "):
+				imports = append(imports, strings.Fields(trimmed)[1])
+			case strings.HasPrefix(trimmed, "from ") && strings.Contains(trimmed, " import "):
+				imports = append(imports, strings.Fields(trimmed)[1])
+			case strings.HasPrefix(trimmed, "#"):
+				comments = append(comments, strings.TrimSpace(strings.TrimPrefix(trimmed, "#")))
+			}
+		}
+	}
+	if parsed == 0 {
+		return nil, ErrNotApplicable
+	}
+	sort.Strings(imports)
+	return map[string]interface{}{
+		"language":  "python",
+		"lines":     lines,
+		"functions": functions,
+		"classes":   classes,
+		"imports":   dedupe(imports),
+		"comments":  len(comments),
+	}, nil
+}
+
+func looksLikePython(src string) bool {
+	return strings.Contains(src, "def ") || strings.Contains(src, "import ") ||
+		strings.Contains(src, "class ") || strings.HasPrefix(src, "#")
+}
+
+// identAfter extracts the identifier following prefix up to '(' or ':'.
+func identAfter(line, prefix string) string {
+	rest := strings.TrimPrefix(line, prefix)
+	end := len(rest)
+	for i, r := range rest {
+		if r == '(' || r == ':' || r == ' ' {
+			end = i
+			break
+		}
+	}
+	return rest[:end]
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CCode isolates comments and function names from C source files.
+type CCode struct{}
+
+// NewCCode returns the C code extractor.
+func NewCCode() *CCode { return &CCode{} }
+
+// Name implements Extractor.
+func (c *CCode) Name() string { return "ccode" }
+
+// Container implements Extractor.
+func (c *CCode) Container() string { return "xtract-code" }
+
+// Applies implements Extractor.
+func (c *CCode) Applies(info store.FileInfo) bool {
+	if info.IsDir {
+		return false
+	}
+	switch info.Extension {
+	case "c", "h", "cc", "cpp", "hpp":
+		return true
+	}
+	return false
+}
+
+// Extract implements Extractor.
+func (c *CCode) Extract(g *family.Group, files map[string][]byte) (map[string]interface{}, error) {
+	var functions, includes []string
+	lineComments, blockComments := 0, 0
+	lines := 0
+	parsed := 0
+	for _, data := range files {
+		src := string(data)
+		parsed++
+		inBlock := false
+		for _, ln := range strings.Split(src, "\n") {
+			lines++
+			trimmed := strings.TrimSpace(ln)
+			if inBlock {
+				if strings.Contains(trimmed, "*/") {
+					inBlock = false
+				}
+				continue
+			}
+			switch {
+			case strings.HasPrefix(trimmed, "/*"):
+				blockComments++
+				if !strings.Contains(trimmed, "*/") {
+					inBlock = true
+				}
+			case strings.HasPrefix(trimmed, "//"):
+				lineComments++
+			case strings.HasPrefix(trimmed, "#include"):
+				includes = append(includes, strings.Trim(strings.TrimSpace(
+					strings.TrimPrefix(trimmed, "#include")), "<>\""))
+			default:
+				if name, ok := cFunctionName(trimmed); ok {
+					functions = append(functions, name)
+				}
+			}
+		}
+	}
+	if parsed == 0 || (len(functions) == 0 && len(includes) == 0 &&
+		lineComments == 0 && blockComments == 0) {
+		return nil, ErrNotApplicable
+	}
+	sort.Strings(includes)
+	return map[string]interface{}{
+		"language":       "c",
+		"lines":          lines,
+		"functions":      functions,
+		"includes":       dedupe(includes),
+		"line_comments":  lineComments,
+		"block_comments": blockComments,
+	}, nil
+}
+
+// cFunctionName heuristically recognizes "type name(args) {" definitions.
+func cFunctionName(line string) (string, bool) {
+	if !strings.Contains(line, "(") || strings.HasPrefix(line, "if") ||
+		strings.HasPrefix(line, "for") || strings.HasPrefix(line, "while") ||
+		strings.HasPrefix(line, "switch") || strings.HasPrefix(line, "return") {
+		return "", false
+	}
+	open := strings.Index(line, "(")
+	head := strings.TrimSpace(line[:open])
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return "", false
+	}
+	name := fields[len(fields)-1]
+	name = strings.TrimPrefix(name, "*")
+	if name == "" || !isIdent(name) {
+		return "", false
+	}
+	// Definitions end with '{' on the same or next line; require at least
+	// a closing paren on this line to skip macros.
+	if !strings.Contains(line, ")") {
+		return "", false
+	}
+	return name, true
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,76 @@
+package extractors
+
+import (
+	"archive/zip"
+	"bytes"
+	"sort"
+
+	"xtract/internal/family"
+	"xtract/internal/store"
+)
+
+// Compressed lists the contents of zip archives: entry count, compressed
+// and uncompressed sizes, and the extension mix inside — enough for a
+// search index to describe an archive without unpacking it.
+type Compressed struct{}
+
+// NewCompressed returns the compressed-archive extractor.
+func NewCompressed() *Compressed { return &Compressed{} }
+
+// Name implements Extractor.
+func (c *Compressed) Name() string { return "compressed" }
+
+// Container implements Extractor.
+func (c *Compressed) Container() string { return "xtract-compressed" }
+
+// Applies implements Extractor.
+func (c *Compressed) Applies(info store.FileInfo) bool {
+	if info.IsDir {
+		return false
+	}
+	return info.Extension == "zip" || info.MimeType == store.MimeZip
+}
+
+// Extract implements Extractor.
+func (c *Compressed) Extract(g *family.Group, files map[string][]byte) (map[string]interface{}, error) {
+	parsed := 0
+	entries := 0
+	var compressed, uncompressed uint64
+	extCounts := make(map[string]int)
+	var names []string
+	for _, data := range files {
+		r, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			continue
+		}
+		parsed++
+		for _, f := range r.File {
+			entries++
+			compressed += f.CompressedSize64
+			uncompressed += f.UncompressedSize64
+			if ext := store.ExtensionOf(f.Name); ext != "" {
+				extCounts[ext]++
+			}
+			if len(names) < 32 {
+				names = append(names, f.Name)
+			}
+		}
+	}
+	if parsed == 0 {
+		return nil, ErrNotApplicable
+	}
+	sort.Strings(names)
+	ratio := 0.0
+	if uncompressed > 0 {
+		ratio = float64(compressed) / float64(uncompressed)
+	}
+	return map[string]interface{}{
+		"archives":           parsed,
+		"entries":            entries,
+		"compressed_bytes":   compressed,
+		"uncompressed_bytes": uncompressed,
+		"compression_ratio":  ratio,
+		"extensions":         sortedKeys(extCounts),
+		"entry_names":        names,
+	}, nil
+}

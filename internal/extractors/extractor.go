@@ -1,0 +1,152 @@
+// Package extractors implements Xtract's metadata extractor library: the
+// twelve extractors described in the paper (§4.2), a registry mapping file
+// types to applicable extractors, and the dynamic-plan hook by which one
+// extractor's output can suggest further extractors for the same group
+// (e.g., a free-text file found to contain a table also gets the tabular
+// extractor, which is why the Google Drive case study has more extractor
+// invocations than files).
+//
+// Extractors operate on real bytes: CSV is parsed, PNG headers are
+// decoded, VASP-format files are read. Where the paper used heavyweight
+// ML (word embeddings, SVMs, BERT, OCR), this package substitutes
+// deterministic analyses in the same pipeline position — see DESIGN.md.
+package extractors
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"xtract/internal/family"
+	"xtract/internal/store"
+)
+
+// SuggestKey is the reserved metadata key under which an extractor may
+// return a []string of additional extractor names to apply to the group.
+const SuggestKey = "xtract.suggest"
+
+// ErrNotApplicable is returned when an extractor is run on content it
+// cannot process.
+var ErrNotApplicable = errors.New("extractors: not applicable to this content")
+
+// Extractor is a metadata extractor function: it processes a group of
+// file contents and returns a metadata dictionary.
+type Extractor interface {
+	// Name is the unique extractor name used in plans and the registry.
+	Name() string
+	// Container names the runtime container image the extractor needs.
+	Container() string
+	// Applies reports whether the extractor is an initial candidate for a
+	// file, judged only on crawl-time metadata (name, extension, size,
+	// MIME type) — grouping functions run without reading file bytes.
+	Applies(info store.FileInfo) bool
+	// Extract computes metadata for the group. files maps each group file
+	// path to its contents.
+	Extract(g *family.Group, files map[string][]byte) (map[string]interface{}, error)
+}
+
+// Library is a registry of extractors by name.
+type Library struct {
+	byName map[string]Extractor
+	order  []string
+}
+
+// NewLibrary returns a library containing the given extractors.
+func NewLibrary(exts ...Extractor) *Library {
+	l := &Library{byName: make(map[string]Extractor)}
+	for _, e := range exts {
+		l.Register(e)
+	}
+	return l
+}
+
+// DefaultLibrary returns the full built-in extractor set. Registration
+// order matters: CandidatesFor returns matches in this order and the
+// first match becomes a group's initial extractor, so format-specific
+// extractors come first and the free-text fallback (keyword) last.
+func DefaultLibrary() *Library {
+	return NewLibrary(
+		NewMatIO(),
+		NewASE(),
+		NewTabular(),
+		NewNullValue(),
+		NewImageSort(),
+		NewImages(),
+		NewHierarchical(),
+		NewSemiStructured(),
+		NewPythonCode(),
+		NewCCode(),
+		NewCompressed(),
+		NewKeyword(15),
+		NewEntity(),
+	)
+}
+
+// Register adds or replaces an extractor.
+func (l *Library) Register(e Extractor) {
+	if _, ok := l.byName[e.Name()]; !ok {
+		l.order = append(l.order, e.Name())
+	}
+	l.byName[e.Name()] = e
+}
+
+// Get returns the named extractor.
+func (l *Library) Get(name string) (Extractor, error) {
+	e, ok := l.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("extractors: unknown extractor %q", name)
+	}
+	return e, nil
+}
+
+// Names lists registered extractor names in registration order.
+func (l *Library) Names() []string {
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// CandidatesFor returns the names of extractors whose Applies accepts the
+// file, in registration order. This is the crawl-time initial plan.
+func (l *Library) CandidatesFor(info store.FileInfo) []string {
+	var out []string
+	for _, name := range l.order {
+		if l.byName[name].Applies(info) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Suggestions pulls the dynamic-plan extractor suggestions out of a
+// metadata result, if any.
+func Suggestions(metadata map[string]interface{}) []string {
+	v, ok := metadata[SuggestKey]
+	if !ok {
+		return nil
+	}
+	switch s := v.(type) {
+	case []string:
+		return s
+	case []interface{}:
+		out := make([]string, 0, len(s))
+		for _, e := range s {
+			if str, ok := e.(string); ok {
+				out = append(out, str)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic metadata.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,277 @@
+package extractors
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"xtract/internal/family"
+	"xtract/internal/store"
+)
+
+// The XHD container format is this repository's HDF5/NetCDF stand-in: a
+// self-describing binary tree of groups and datasets with attributes.
+// The dataset generator writes it; the hierarchical extractor walks it.
+//
+// Layout (big-endian):
+//
+//	magic "XHD1"
+//	node := kind(u8: 0 group, 1 dataset)
+//	        nameLen(u16) name
+//	        attrCount(u16) { keyLen(u16) key valLen(u16) val }*
+//	        group:   childCount(u32) child-nodes...
+//	        dataset: dtype(u8: 0 f64, 1 i64, 2 u8) ndims(u8) dims(u64)* payload
+var xhdMagic = []byte("XHD1")
+
+// errBadXHD is returned for malformed container bytes.
+var errBadXHD = errors.New("extractors: malformed XHD container")
+
+// XHDNode is one node of an XHD tree.
+type XHDNode struct {
+	Name     string
+	IsGroup  bool
+	Attrs    map[string]string
+	Children []*XHDNode // groups only
+	DType    byte       // datasets only
+	Dims     []uint64   // datasets only
+	Payload  []byte     // datasets only
+}
+
+// Elements returns the element count of a dataset node.
+func (n *XHDNode) Elements() uint64 {
+	if n.IsGroup {
+		return 0
+	}
+	e := uint64(1)
+	for _, d := range n.Dims {
+		e *= d
+	}
+	return e
+}
+
+// dtypeSize maps dtype codes to element byte widths.
+func dtypeSize(dtype byte) (int, error) {
+	switch dtype {
+	case 0, 1:
+		return 8, nil
+	case 2:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("%w: dtype %d", errBadXHD, dtype)
+	}
+}
+
+// EncodeXHD serializes a tree rooted at root.
+func EncodeXHD(root *XHDNode) []byte {
+	out := append([]byte(nil), xhdMagic...)
+	return encodeNode(out, root)
+}
+
+func encodeNode(out []byte, n *XHDNode) []byte {
+	if n.IsGroup {
+		out = append(out, 0)
+	} else {
+		out = append(out, 1)
+	}
+	out = appendString16(out, n.Name)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(keys)))
+	for _, k := range keys {
+		out = appendString16(out, k)
+		out = appendString16(out, n.Attrs[k])
+	}
+	if n.IsGroup {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(n.Children)))
+		for _, c := range n.Children {
+			out = encodeNode(out, c)
+		}
+		return out
+	}
+	out = append(out, n.DType)
+	out = append(out, byte(len(n.Dims)))
+	for _, d := range n.Dims {
+		out = binary.BigEndian.AppendUint64(out, d)
+	}
+	out = append(out, n.Payload...)
+	return out
+}
+
+func appendString16(out []byte, s string) []byte {
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+// DecodeXHD parses container bytes into a tree.
+func DecodeXHD(data []byte) (*XHDNode, error) {
+	if len(data) < 4 || string(data[:4]) != string(xhdMagic) {
+		return nil, errBadXHD
+	}
+	node, _, err := decodeNode(data, 4)
+	return node, err
+}
+
+func decodeNode(data []byte, off int) (*XHDNode, int, error) {
+	if off >= len(data) {
+		return nil, 0, errBadXHD
+	}
+	n := &XHDNode{IsGroup: data[off] == 0, Attrs: make(map[string]string)}
+	off++
+	var err error
+	n.Name, off, err = readString16(data, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off+2 > len(data) {
+		return nil, 0, errBadXHD
+	}
+	attrCount := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	for i := 0; i < attrCount; i++ {
+		var k, v string
+		k, off, err = readString16(data, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, off, err = readString16(data, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.Attrs[k] = v
+	}
+	if n.IsGroup {
+		if off+4 > len(data) {
+			return nil, 0, errBadXHD
+		}
+		childCount := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		for i := 0; i < childCount; i++ {
+			var c *XHDNode
+			c, off, err = decodeNode(data, off)
+			if err != nil {
+				return nil, 0, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, off, nil
+	}
+	if off+2 > len(data) {
+		return nil, 0, errBadXHD
+	}
+	n.DType = data[off]
+	ndims := int(data[off+1])
+	off += 2
+	if off+8*ndims > len(data) {
+		return nil, 0, errBadXHD
+	}
+	for i := 0; i < ndims; i++ {
+		n.Dims = append(n.Dims, binary.BigEndian.Uint64(data[off:]))
+		off += 8
+	}
+	size, err := dtypeSize(n.DType)
+	if err != nil {
+		return nil, 0, err
+	}
+	payloadLen := int(n.Elements()) * size
+	if off+payloadLen > len(data) {
+		return nil, 0, errBadXHD
+	}
+	n.Payload = data[off : off+payloadLen]
+	off += payloadLen
+	return n, off, nil
+}
+
+func readString16(data []byte, off int) (string, int, error) {
+	if off+2 > len(data) {
+		return "", 0, errBadXHD
+	}
+	l := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	if off+l > len(data) {
+		return "", 0, errBadXHD
+	}
+	return string(data[off : off+l]), off + l, nil
+}
+
+// Hierarchical extracts structural metadata from XHD containers (the
+// NetCDF/HDF extractor of the paper): tree shape, dataset inventory,
+// and attributes.
+type Hierarchical struct{}
+
+// NewHierarchical returns the hierarchical extractor.
+func NewHierarchical() *Hierarchical { return &Hierarchical{} }
+
+// Name implements Extractor.
+func (h *Hierarchical) Name() string { return "hierarchical" }
+
+// Container implements Extractor.
+func (h *Hierarchical) Container() string { return "xtract-hierarchical" }
+
+// Applies implements Extractor.
+func (h *Hierarchical) Applies(info store.FileInfo) bool {
+	if info.IsDir {
+		return false
+	}
+	switch info.Extension {
+	case "h5", "hdf5", "hdf", "nc", "xhd":
+		return true
+	}
+	return info.MimeType == store.MimeHDF
+}
+
+// Extract implements Extractor.
+func (h *Hierarchical) Extract(g *family.Group, files map[string][]byte) (map[string]interface{}, error) {
+	parsed := 0
+	groups, datasets := 0, 0
+	var elements uint64
+	maxDepth := 0
+	attrKeys := make(map[string]int)
+	var datasetNames []string
+
+	var walk func(n *XHDNode, depth int)
+	walk = func(n *XHDNode, depth int) {
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		for k := range n.Attrs {
+			attrKeys[k]++
+		}
+		if n.IsGroup {
+			groups++
+			for _, c := range n.Children {
+				walk(c, depth+1)
+			}
+			return
+		}
+		datasets++
+		elements += n.Elements()
+		if len(datasetNames) < 32 {
+			datasetNames = append(datasetNames, n.Name)
+		}
+	}
+	for _, data := range files {
+		root, err := DecodeXHD(data)
+		if err != nil {
+			continue
+		}
+		parsed++
+		walk(root, 1)
+	}
+	if parsed == 0 {
+		return nil, ErrNotApplicable
+	}
+	sort.Strings(datasetNames)
+	return map[string]interface{}{
+		"containers":    parsed,
+		"groups":        groups,
+		"datasets":      datasets,
+		"elements":      elements,
+		"max_depth":     maxDepth,
+		"attr_keys":     sortedKeys(attrKeys),
+		"dataset_names": datasetNames,
+	}, nil
+}

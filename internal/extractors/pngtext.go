@@ -1,0 +1,85 @@
+package extractors
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// pngSignature is the 8-byte PNG file header.
+var pngSignature = []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+
+// errNotPNG is returned when chunk parsing is attempted on non-PNG data.
+var errNotPNG = errors.New("extractors: not a PNG")
+
+// PNGTextChunks parses the tEXt chunks of a PNG, returning keyword→text
+// pairs. This is the stand-in for OCR in the images extractor: the
+// dataset generator embeds ground-truth text (e.g., map location labels)
+// as standard PNG metadata, and extraction recovers it by real parsing.
+func PNGTextChunks(data []byte) (map[string]string, error) {
+	if !bytes.HasPrefix(data, pngSignature) {
+		return nil, errNotPNG
+	}
+	out := make(map[string]string)
+	off := len(pngSignature)
+	for off+8 <= len(data) {
+		length := int(binary.BigEndian.Uint32(data[off : off+4]))
+		ctype := string(data[off+4 : off+8])
+		if off+8+length+4 > len(data) {
+			break
+		}
+		chunk := data[off+8 : off+8+length]
+		if ctype == "tEXt" {
+			if i := bytes.IndexByte(chunk, 0); i >= 0 {
+				out[string(chunk[:i])] = string(chunk[i+1:])
+			}
+		}
+		off += 8 + length + 4
+		if ctype == "IEND" {
+			break
+		}
+	}
+	return out, nil
+}
+
+// InsertPNGText returns a copy of png with tEXt chunks for each key/value
+// inserted before the IEND chunk. Keys are written in sorted order by the
+// caller's iteration; pass one pair at a time for strict determinism.
+func InsertPNGText(png []byte, key, value string) ([]byte, error) {
+	if !bytes.HasPrefix(png, pngSignature) {
+		return nil, errNotPNG
+	}
+	// Find the IEND chunk.
+	off := len(pngSignature)
+	for off+8 <= len(png) {
+		length := int(binary.BigEndian.Uint32(png[off : off+4]))
+		ctype := string(png[off+4 : off+8])
+		if ctype == "IEND" {
+			break
+		}
+		off += 8 + length + 4
+	}
+	if off+8 > len(png) {
+		return nil, errNotPNG
+	}
+	payload := append(append([]byte(key), 0), []byte(value)...)
+	chunk := make([]byte, 0, 12+len(payload))
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	chunk = append(chunk, lenBuf[:]...)
+	chunk = append(chunk, []byte("tEXt")...)
+	chunk = append(chunk, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte("tEXt"))
+	crc.Write(payload)
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc.Sum32())
+	chunk = append(chunk, crcBuf[:]...)
+
+	out := make([]byte, 0, len(png)+len(chunk))
+	out = append(out, png[:off]...)
+	out = append(out, chunk...)
+	out = append(out, png[off:]...)
+	return out, nil
+}

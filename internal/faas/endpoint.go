@@ -1,0 +1,248 @@
+package faas
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/metrics"
+)
+
+// ContainerManager tracks warm container instances on an endpoint. The
+// first task needing a container pays its cold-start cost; instances are
+// returned to the warm pool on release, reproducing the ~70 s cold starts
+// the paper reports for the Google Drive case study and their subsequent
+// amortization.
+type ContainerManager struct {
+	clk       clock.Clock
+	coldStart func(containerID string) time.Duration
+
+	mu   sync.Mutex
+	warm map[string]int
+
+	ColdStarts metrics.Counter
+	WarmHits   metrics.Counter
+}
+
+// NewContainerManager returns a manager that asks coldStart for each
+// container's startup cost.
+func NewContainerManager(clk clock.Clock, coldStart func(string) time.Duration) *ContainerManager {
+	return &ContainerManager{clk: clk, coldStart: coldStart, warm: make(map[string]int)}
+}
+
+// Acquire obtains a container instance, paying the cold-start cost when
+// no warm instance is available. An empty containerID is free.
+func (cm *ContainerManager) Acquire(containerID string) {
+	if containerID == "" {
+		return
+	}
+	cm.mu.Lock()
+	if cm.warm[containerID] > 0 {
+		cm.warm[containerID]--
+		cm.mu.Unlock()
+		cm.WarmHits.Inc()
+		return
+	}
+	cm.mu.Unlock()
+	cm.ColdStarts.Inc()
+	cm.clk.Sleep(cm.coldStart(containerID))
+}
+
+// Release returns an instance to the warm pool.
+func (cm *ContainerManager) Release(containerID string) {
+	if containerID == "" {
+		return
+	}
+	cm.mu.Lock()
+	cm.warm[containerID]++
+	cm.mu.Unlock()
+}
+
+// WarmCount reports warm instances of a container.
+func (cm *ContainerManager) WarmCount(containerID string) int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.warm[containerID]
+}
+
+type dispatchItem struct {
+	t  *task
+	fn *function
+}
+
+// Endpoint is a compute site: a pool of workers pulling tasks from a
+// local queue, each executing functions inside (simulated) containers.
+// It corresponds to a funcX endpoint deployed on a cluster login node.
+type Endpoint struct {
+	ID      string
+	Workers int
+
+	clk        clock.Clock
+	svc        *Service
+	containers *ContainerManager
+
+	// ExecOverheadPerTask models per-invocation worker overhead
+	// (deserialization, namespace setup).
+	ExecOverheadPerTask time.Duration
+
+	mu      sync.Mutex
+	queue   chan *dispatchItem
+	stopped bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	TasksExecuted metrics.Counter
+	BusyTime      metrics.Histogram
+}
+
+// NewEndpoint creates an endpoint with the given worker count. It must be
+// registered with a Service and then started.
+func NewEndpoint(id string, workers int, clk clock.Clock) *Endpoint {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Endpoint{
+		ID:      id,
+		Workers: workers,
+		clk:     clk,
+		queue:   make(chan *dispatchItem, 1<<16),
+	}
+}
+
+// attach is called by Service.RegisterEndpoint.
+func (e *Endpoint) attach(svc *Service) {
+	e.svc = svc
+	e.containers = NewContainerManager(e.clk, svc.ColdStart)
+}
+
+// Containers exposes the endpoint's container manager (for stats).
+func (e *Endpoint) Containers() *ContainerManager { return e.containers }
+
+// Start launches the worker pool and heartbeat loop. The endpoint runs
+// until Stop is called or ctx is cancelled.
+func (e *Endpoint) Start(ctx context.Context) error {
+	if e.svc == nil {
+		return fmt.Errorf("faas: endpoint %s not registered with a service", e.ID)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		cancel()
+		return ErrEndpointStopped
+	}
+	e.cancel = cancel
+	e.mu.Unlock()
+
+	for i := 0; i < e.Workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.worker(ctx)
+		}()
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.heartbeatLoop(ctx)
+	}()
+	return nil
+}
+
+// Stop simulates the endpoint's allocation ending: workers stop, queued
+// and running tasks are reported lost to the service.
+func (e *Endpoint) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	cancel := e.cancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	e.svc.endpointLost(e.ID)
+}
+
+// Stopped reports whether the endpoint has been stopped.
+func (e *Endpoint) Stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
+
+// enqueue delivers a task to the endpoint's local queue, charging the
+// dispatch latency. Called by the service.
+func (e *Endpoint) enqueue(t *task, fn *function, dispatchLatency time.Duration) error {
+	e.mu.Lock()
+	stopped := e.stopped
+	e.mu.Unlock()
+	if stopped {
+		return ErrEndpointStopped
+	}
+	e.clk.Sleep(dispatchLatency)
+	select {
+	case e.queue <- &dispatchItem{t: t, fn: fn}:
+		return nil
+	default:
+		return fmt.Errorf("faas: endpoint %s queue full", e.ID)
+	}
+}
+
+func (e *Endpoint) worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case item := <-e.queue:
+			e.execute(ctx, item)
+		}
+	}
+}
+
+func (e *Endpoint) execute(ctx context.Context, item *dispatchItem) {
+	t, fn := item.t, item.fn
+	t.mu.Lock()
+	if t.info.Status.Terminal() {
+		t.mu.Unlock()
+		return
+	}
+	t.info.Status = TaskRunning
+	t.info.Started = e.clk.Now()
+	payload := t.payload
+	t.mu.Unlock()
+
+	e.containers.Acquire(fn.container)
+	e.clk.Sleep(e.ExecOverheadPerTask)
+	start := e.clk.Now()
+	result, err := fn.handler(ctx, payload)
+	e.BusyTime.ObserveDuration(e.clk.Since(start))
+	e.containers.Release(fn.container)
+
+	// If the allocation died mid-execution the task is already LOST;
+	// taskFinished will be a no-op for it.
+	e.TasksExecuted.Inc()
+	e.svc.taskFinished(t, result, err)
+}
+
+func (e *Endpoint) heartbeatLoop(ctx context.Context) {
+	interval := e.svc.HeartbeatTimeout / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		e.svc.heartbeat(e.ID)
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.clk.After(interval):
+		}
+	}
+}
+
+// QueueDepth reports tasks waiting on the endpoint.
+func (e *Endpoint) QueueDepth() int { return len(e.queue) }

@@ -1,0 +1,406 @@
+// Package faas implements the federated Function-as-a-Service fabric that
+// Xtract builds on — an in-process funcX: a central service where
+// functions, containers, and endpoints are registered; batch task
+// submission and batch polling; containerized workers with cold/warm
+// starts; heartbeats; and lost-task detection when an endpoint's
+// allocation ends (the Figure 8 checkpoint/restart path).
+package faas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/metrics"
+)
+
+// Errors returned by the service.
+var (
+	ErrUnknownFunction  = errors.New("faas: unknown function")
+	ErrUnknownEndpoint  = errors.New("faas: unknown endpoint")
+	ErrUnknownTask      = errors.New("faas: unknown task")
+	ErrUnknownContainer = errors.New("faas: unknown container")
+	ErrEndpointStopped  = errors.New("faas: endpoint stopped")
+)
+
+// Handler is the code behind a registered function. Payloads are opaque
+// bytes (Xtract serializes family batches into them); results likewise.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
+
+// TaskStatus is the lifecycle state of a submitted task.
+type TaskStatus int
+
+// Task states.
+const (
+	TaskPending TaskStatus = iota
+	TaskRunning
+	TaskSuccess
+	TaskFailed
+	// TaskLost means the executing endpoint disappeared (allocation ended
+	// or heartbeat expired) before the task completed. Callers should
+	// resubmit, as Xtract does for whole families.
+	TaskLost
+)
+
+// String implements fmt.Stringer.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskPending:
+		return "PENDING"
+	case TaskRunning:
+		return "RUNNING"
+	case TaskSuccess:
+		return "SUCCESS"
+	case TaskFailed:
+		return "FAILED"
+	case TaskLost:
+		return "LOST"
+	default:
+		return fmt.Sprintf("TaskStatus(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the status is final.
+func (s TaskStatus) Terminal() bool {
+	return s == TaskSuccess || s == TaskFailed || s == TaskLost
+}
+
+// TaskRequest asks for one function invocation on one endpoint.
+type TaskRequest struct {
+	FunctionID string
+	EndpointID string
+	Payload    []byte
+}
+
+// TaskInfo is a polled snapshot of a task.
+type TaskInfo struct {
+	ID         string
+	FunctionID string
+	EndpointID string
+	Status     TaskStatus
+	Result     []byte
+	Err        string
+	Submitted  time.Time
+	Started    time.Time
+	Finished   time.Time
+}
+
+// Costs models the control-plane latencies of the FaaS service, the knobs
+// behind the paper's Figure 3 breakdown. All default to zero.
+type Costs struct {
+	// AuthPerRequest models Globus Auth validation per web request.
+	AuthPerRequest time.Duration
+	// SubmitPerBatch is charged once per SubmitBatch call, regardless of
+	// batch size — this is what funcX batching amortizes.
+	SubmitPerBatch time.Duration
+	// SubmitPerTask is charged per task within a batch (serialization).
+	SubmitPerTask time.Duration
+	// DispatchPerTask is the service→endpoint delivery latency.
+	DispatchPerTask time.Duration
+	// ResultPerTask is the endpoint→service result return latency.
+	ResultPerTask time.Duration
+}
+
+type function struct {
+	id        string
+	name      string
+	handler   Handler
+	container string
+}
+
+type task struct {
+	mu      sync.Mutex
+	info    TaskInfo
+	payload []byte
+	doneCh  chan struct{}
+}
+
+// setStatus transitions the task, returning false if it was already
+// terminal (e.g., marked lost while the handler was still running).
+func (t *task) setStatus(s TaskStatus) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.info.Status.Terminal() {
+		return false
+	}
+	t.info.Status = s
+	if s.Terminal() {
+		close(t.doneCh)
+	}
+	return true
+}
+
+// Service is the central FaaS web service.
+type Service struct {
+	clk   clock.Clock
+	costs Costs
+
+	mu         sync.Mutex
+	functions  map[string]*function
+	containers map[string]time.Duration // container -> cold start cost
+	endpoints  map[string]*Endpoint
+	tasks      map[string]*task
+	seq        int
+
+	// HeartbeatTimeout: endpoints whose last heartbeat is older than this
+	// are considered dead and their in-flight tasks marked lost.
+	HeartbeatTimeout time.Duration
+	lastHeartbeat    map[string]time.Time
+
+	TasksSubmitted metrics.Counter
+	TasksCompleted metrics.Counter
+	TasksLost      metrics.Counter
+}
+
+// NewService returns an empty service with the given control-plane costs.
+func NewService(clk clock.Clock, costs Costs) *Service {
+	return &Service{
+		clk:              clk,
+		costs:            costs,
+		functions:        make(map[string]*function),
+		containers:       make(map[string]time.Duration),
+		endpoints:        make(map[string]*Endpoint),
+		tasks:            make(map[string]*task),
+		lastHeartbeat:    make(map[string]time.Time),
+		HeartbeatTimeout: 30 * time.Second,
+	}
+}
+
+// RegisterContainer records a container image and its cold-start cost,
+// returning its ID.
+func (s *Service) RegisterContainer(name string, coldStart time.Duration) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := fmt.Sprintf("cont-%d-%s", s.seq, name)
+	s.containers[id] = coldStart
+	return id
+}
+
+// RegisterFunction registers handler under a new function ID. containerID
+// names the runtime environment the function must execute in ("" for
+// bare execution).
+func (s *Service) RegisterFunction(name string, h Handler, containerID string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if containerID != "" {
+		if _, ok := s.containers[containerID]; !ok {
+			return "", fmt.Errorf("%w: %s", ErrUnknownContainer, containerID)
+		}
+	}
+	s.seq++
+	id := fmt.Sprintf("func-%d-%s", s.seq, name)
+	s.functions[id] = &function{id: id, name: name, handler: h, container: containerID}
+	return id, nil
+}
+
+// RegisterEndpoint attaches an endpoint to the service.
+func (s *Service) RegisterEndpoint(ep *Endpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[ep.ID] = ep
+	s.lastHeartbeat[ep.ID] = s.clk.Now()
+	ep.attach(s)
+}
+
+// ColdStart returns the registered cold-start cost of a container.
+func (s *Service) ColdStart(containerID string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.containers[containerID]
+}
+
+// SubmitBatch submits a batch of task requests (the "funcX batch") and
+// returns one task ID per request, in order. Batch-level costs are charged
+// once, per-task costs per element.
+func (s *Service) SubmitBatch(reqs []TaskRequest) ([]string, error) {
+	s.clk.Sleep(s.costs.AuthPerRequest + s.costs.SubmitPerBatch +
+		time.Duration(len(reqs))*s.costs.SubmitPerTask)
+
+	ids := make([]string, 0, len(reqs))
+	type routed struct {
+		ep    *Endpoint
+		tasks []*task
+		fns   []*function
+	}
+	byEP := make(map[string]*routed)
+
+	s.mu.Lock()
+	for _, req := range reqs {
+		fn, ok := s.functions[req.FunctionID]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrUnknownFunction, req.FunctionID)
+		}
+		ep, ok := s.endpoints[req.EndpointID]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, req.EndpointID)
+		}
+		s.seq++
+		id := fmt.Sprintf("task-%d", s.seq)
+		t := &task{
+			info: TaskInfo{
+				ID:         id,
+				FunctionID: req.FunctionID,
+				EndpointID: req.EndpointID,
+				Status:     TaskPending,
+				Submitted:  s.clk.Now(),
+			},
+			payload: append([]byte(nil), req.Payload...),
+			doneCh:  make(chan struct{}),
+		}
+		s.tasks[id] = t
+		ids = append(ids, id)
+		r := byEP[req.EndpointID]
+		if r == nil {
+			r = &routed{ep: ep}
+			byEP[req.EndpointID] = r
+		}
+		r.tasks = append(r.tasks, t)
+		r.fns = append(r.fns, fn)
+	}
+	s.mu.Unlock()
+
+	s.TasksSubmitted.Add(int64(len(reqs)))
+	for _, r := range byEP {
+		for i, t := range r.tasks {
+			if err := r.ep.enqueue(t, r.fns[i], s.costs.DispatchPerTask); err != nil {
+				t.mu.Lock()
+				t.info.Err = err.Error()
+				t.mu.Unlock()
+				t.setStatus(TaskLost)
+				s.TasksLost.Inc()
+			}
+		}
+	}
+	return ids, nil
+}
+
+// Submit is SubmitBatch for a single request.
+func (s *Service) Submit(req TaskRequest) (string, error) {
+	ids, err := s.SubmitBatch([]TaskRequest{req})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// PollBatch returns snapshots for the given task IDs (the funcX batch
+// polling API). Unknown IDs yield a zero TaskInfo with empty ID.
+func (s *Service) PollBatch(ids []string) []TaskInfo {
+	s.clk.Sleep(s.costs.AuthPerRequest)
+	out := make([]TaskInfo, len(ids))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		if t, ok := s.tasks[id]; ok {
+			t.mu.Lock()
+			out[i] = t.info
+			t.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// Poll returns the snapshot of one task.
+func (s *Service) Poll(id string) (TaskInfo, error) {
+	s.mu.Lock()
+	t, ok := s.tasks[id]
+	s.mu.Unlock()
+	if !ok {
+		return TaskInfo{}, fmt.Errorf("%w: %s", ErrUnknownTask, id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.info, nil
+}
+
+// Wait blocks until the task reaches a terminal state.
+func (s *Service) Wait(id string) (TaskInfo, error) {
+	s.mu.Lock()
+	t, ok := s.tasks[id]
+	s.mu.Unlock()
+	if !ok {
+		return TaskInfo{}, fmt.Errorf("%w: %s", ErrUnknownTask, id)
+	}
+	<-t.doneCh
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.info, nil
+}
+
+// heartbeat records endpoint liveness.
+func (s *Service) heartbeat(epID string) {
+	s.mu.Lock()
+	s.lastHeartbeat[epID] = s.clk.Now()
+	s.mu.Unlock()
+}
+
+// endpointLost marks every non-terminal task on the endpoint as lost.
+// Called when an endpoint stops (allocation end) or its heartbeat expires.
+func (s *Service) endpointLost(epID string) {
+	s.mu.Lock()
+	var lost []*task
+	for _, t := range s.tasks {
+		t.mu.Lock()
+		nonTerminal := !t.info.Status.Terminal() && t.info.EndpointID == epID
+		t.mu.Unlock()
+		if nonTerminal {
+			lost = append(lost, t)
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range lost {
+		t.mu.Lock()
+		t.info.Err = ErrEndpointStopped.Error()
+		t.mu.Unlock()
+		t.setStatus(TaskLost)
+		s.TasksLost.Inc()
+	}
+}
+
+// CheckHeartbeats scans endpoint liveness and marks tasks lost for any
+// endpoint that has missed its heartbeat window. Returns the IDs of newly
+// dead endpoints.
+func (s *Service) CheckHeartbeats() []string {
+	s.mu.Lock()
+	now := s.clk.Now()
+	var dead []string
+	for id, last := range s.lastHeartbeat {
+		if now.Sub(last) > s.HeartbeatTimeout {
+			dead = append(dead, id)
+			delete(s.lastHeartbeat, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range dead {
+		s.endpointLost(id)
+	}
+	return dead
+}
+
+// taskFinished records completion bookkeeping and result-return latency.
+// It is a no-op for tasks already marked lost.
+func (s *Service) taskFinished(t *task, result []byte, err error) {
+	s.clk.Sleep(s.costs.ResultPerTask)
+	t.mu.Lock()
+	if t.info.Status.Terminal() {
+		t.mu.Unlock()
+		return
+	}
+	t.info.Finished = s.clk.Now()
+	if err != nil {
+		t.info.Err = err.Error()
+		t.info.Status = TaskFailed
+	} else {
+		t.info.Result = result
+		t.info.Status = TaskSuccess
+	}
+	close(t.doneCh)
+	t.mu.Unlock()
+	s.TasksCompleted.Inc()
+}

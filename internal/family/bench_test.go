@@ -1,0 +1,49 @@
+package family
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGroups builds an overlapping-group corpus of the given scale.
+func benchGroups(dirs int) []Group {
+	var groups []Group
+	for d := 0; d < dirs; d++ {
+		prefix := fmt.Sprintf("/d%04d", d)
+		shared := prefix + "/shared"
+		for g := 0; g < 6; g++ {
+			groups = append(groups, Group{
+				ID:    fmt.Sprintf("%s-g%d", prefix, g),
+				Files: []string{shared, fmt.Sprintf("%s/f%d", prefix, g)},
+			})
+		}
+	}
+	return groups
+}
+
+func BenchmarkMinTransfers1kDirs(b *testing.B) {
+	groups := benchGroups(1000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinTransfers(groups, 8, rng)
+	}
+	b.ReportMetric(float64(len(groups)), "groups")
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	groups := benchGroups(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildGraph(groups)
+	}
+}
+
+func BenchmarkNaive(b *testing.B) {
+	groups := benchGroups(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Naive(groups)
+	}
+}

@@ -1,0 +1,300 @@
+package family
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNaive(t *testing.T) {
+	groups := []Group{
+		{ID: "g1", Files: []string{"/a", "/b"}, Extractor: "matio"},
+		{ID: "g2", Files: []string{"/b", "/c"}, Extractor: "matio"},
+	}
+	fams := Naive(groups)
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	// /b appears in both families: one redundant transfer.
+	if got := RedundantTransfers(fams); got != 1 {
+		t.Fatalf("redundant = %d, want 1", got)
+	}
+}
+
+func TestFamilyExtractors(t *testing.T) {
+	f := Family{Groups: []Group{
+		{Extractor: "tabular"}, {Extractor: "keyword"}, {Extractor: "tabular"}, {Extractor: ""},
+	}}
+	got := f.Extractors()
+	if len(got) != 2 || got[0] != "keyword" || got[1] != "tabular" {
+		t.Fatalf("Extractors = %v", got)
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	groups := []Group{
+		{ID: "g1", Files: []string{"/a", "/b", "/a"}}, // dup file ignored
+		{ID: "g2", Files: []string{"/b", "/c"}},
+		{ID: "g3", Files: []string{"/a", "/b"}},
+	}
+	g := BuildGraph(groups)
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %v", g.Nodes)
+	}
+	// Edges: (a,b) with weight 2 (g1 and g3), (b,c) weight 1.
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %+v", g.Edges)
+	}
+	var wAB, wBC int
+	for _, e := range g.Edges {
+		u, v := g.Nodes[e.U], g.Nodes[e.V]
+		switch {
+		case (u == "/a" && v == "/b") || (u == "/b" && v == "/a"):
+			wAB = e.W
+		case (u == "/b" && v == "/c") || (u == "/c" && v == "/b"):
+			wBC = e.W
+		}
+	}
+	if wAB != 2 || wBC != 1 {
+		t.Fatalf("weights ab=%d bc=%d", wAB, wBC)
+	}
+}
+
+func TestMinTransfersKeepsComponentsTogether(t *testing.T) {
+	// Two disjoint components, both under maxSize: two families, zero
+	// redundant transfers.
+	groups := []Group{
+		{ID: "g1", Files: []string{"/a", "/b"}},
+		{ID: "g2", Files: []string{"/b", "/c"}},
+		{ID: "g3", Files: []string{"/x", "/y"}},
+	}
+	fams := MinTransfers(groups, 10, rand.New(rand.NewSource(1)))
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	if got := RedundantTransfers(fams); got != 0 {
+		t.Fatalf("redundant = %d, want 0", got)
+	}
+}
+
+func TestMinTransfersRespectsMaxSize(t *testing.T) {
+	// A chain of 20 files joined pairwise must be split into components
+	// of at most 5 files each.
+	var groups []Group
+	for i := 0; i < 19; i++ {
+		groups = append(groups, Group{
+			ID:    fmt.Sprintf("g%d", i),
+			Files: []string{fmt.Sprintf("/f%02d", i), fmt.Sprintf("/f%02d", i+1)},
+		})
+	}
+	fams := MinTransfers(groups, 5, rand.New(rand.NewSource(42)))
+	for _, fam := range fams {
+		if len(fam.Files) > 5 {
+			t.Fatalf("family %s has %d files > maxSize", fam.ID, len(fam.Files))
+		}
+	}
+	// All 19 groups must be assigned exactly once.
+	total := 0
+	for _, fam := range fams {
+		total += len(fam.Groups)
+	}
+	if total != 19 {
+		t.Fatalf("assigned groups = %d, want 19", total)
+	}
+}
+
+func TestMinTransfersBeatsNaive(t *testing.T) {
+	// Heavily overlapping groups within small components: min-transfers
+	// must produce no more redundant transfers than naive shipping.
+	rng := rand.New(rand.NewSource(7))
+	var groups []Group
+	for c := 0; c < 50; c++ {
+		base := fmt.Sprintf("/dir%02d", c)
+		shared := base + "/shared.dat"
+		for g := 0; g < 4; g++ {
+			groups = append(groups, Group{
+				ID:    fmt.Sprintf("c%dg%d", c, g),
+				Files: []string{shared, fmt.Sprintf("%s/g%d.out", base, g)},
+			})
+		}
+	}
+	naive := RedundantTransfers(Naive(groups))
+	mt := RedundantTransfers(MinTransfers(groups, 8, rng))
+	if naive != 50*3 {
+		t.Fatalf("naive redundant = %d, want 150", naive)
+	}
+	if mt >= naive {
+		t.Fatalf("min-transfers (%d) not better than naive (%d)", mt, naive)
+	}
+	if mt != 0 {
+		t.Fatalf("components fit maxSize, redundant should be 0, got %d", mt)
+	}
+}
+
+func TestMinTransfersSingletons(t *testing.T) {
+	groups := []Group{
+		{ID: "g1", Files: []string{"/only"}},
+		{ID: "g2", Files: []string{"/lonely"}},
+	}
+	fams := MinTransfers(groups, 4, rand.New(rand.NewSource(3)))
+	if len(fams) != 2 {
+		t.Fatalf("families = %d", len(fams))
+	}
+}
+
+func TestMinTransfersEmptyInput(t *testing.T) {
+	fams := MinTransfers(nil, 4, rand.New(rand.NewSource(3)))
+	if len(fams) != 0 {
+		t.Fatalf("families = %d", len(fams))
+	}
+}
+
+func TestMinTransfersMaxSizeOne(t *testing.T) {
+	groups := []Group{{ID: "g", Files: []string{"/a", "/b", "/c"}}}
+	fams := MinTransfers(groups, 1, rand.New(rand.NewSource(5)))
+	// Every family holds at most 1 file; the single group lands in one.
+	for _, f := range fams {
+		if len(f.Files) > 1 {
+			t.Fatalf("family files = %v", f.Files)
+		}
+	}
+	total := 0
+	for _, f := range fams {
+		total += len(f.Groups)
+	}
+	if total != 1 {
+		t.Fatalf("group assigned %d times", total)
+	}
+}
+
+func TestMinTransfersInvariants(t *testing.T) {
+	// Property: for random group structures, every group is assigned to
+	// exactly one family, families respect maxSize, and redundant
+	// transfers never exceed the naive count.
+	f := func(seed int64, nGroups, filePool, maxSize uint8) bool {
+		if nGroups == 0 {
+			return true
+		}
+		pool := int(filePool)%20 + 2
+		ms := int(maxSize)%10 + 1
+		rng := rand.New(rand.NewSource(seed))
+		var groups []Group
+		for i := 0; i < int(nGroups)%30+1; i++ {
+			n := rng.Intn(4) + 1
+			files := make([]string, 0, n)
+			for j := 0; j < n; j++ {
+				files = append(files, fmt.Sprintf("/f%d", rng.Intn(pool)))
+			}
+			groups = append(groups, Group{ID: fmt.Sprintf("g%d", i), Files: files})
+		}
+		fams := MinTransfers(groups, ms, rng)
+		assigned := 0
+		for _, fam := range fams {
+			if len(fam.Files) > ms {
+				return false
+			}
+			assigned += len(fam.Groups)
+		}
+		if assigned != len(groups) {
+			return false
+		}
+		return RedundantTransfers(fams) <= RedundantTransfers(Naive(groups))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedundantBytes(t *testing.T) {
+	groups := []Group{
+		{ID: "g1", Files: []string{"/a", "/b"}},
+		{ID: "g2", Files: []string{"/b", "/c"}},
+	}
+	sizes := map[string]int64{"/a": 10, "/b": 100, "/c": 1000}
+	naive := Naive(groups)
+	if got := RedundantBytes(naive, sizes); got != 100 {
+		t.Fatalf("RedundantBytes = %d, want 100", got)
+	}
+	if got := TotalTransferBytes(naive, sizes); got != 1210 {
+		t.Fatalf("TotalTransferBytes = %d, want 1210", got)
+	}
+	merged := MinTransfers(groups, 10, rand.New(rand.NewSource(1)))
+	if got := TotalTransferBytes(merged, sizes); got != 1110 {
+		t.Fatalf("merged TotalTransferBytes = %d, want 1110", got)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if !uf.union(0, 1) {
+		t.Fatal("first union failed")
+	}
+	if uf.union(1, 0) {
+		t.Fatal("repeat union succeeded")
+	}
+	uf.union(2, 3)
+	uf.union(0, 2)
+	if uf.find(3) != uf.find(1) {
+		t.Fatal("transitive union broken")
+	}
+	if uf.find(4) == uf.find(0) {
+		t.Fatal("disjoint sets merged")
+	}
+}
+
+func TestMinTransfersNTrialsImproveOrMatchCut(t *testing.T) {
+	// A component where a bad random cut severs many groups: more trials
+	// must never increase redundant transfers (it keeps the best cut).
+	var groups []Group
+	// Two dense 6-file cliques joined by a single bridge group: the
+	// optimal cut severs only the bridge.
+	for side, prefix := range []string{"/left", "/right"} {
+		_ = side
+		for g := 0; g < 8; g++ {
+			grp := Group{ID: fmt.Sprintf("%s-g%d", prefix, g)}
+			for f := 0; f < 3; f++ {
+				grp.Files = append(grp.Files, fmt.Sprintf("%s/f%d", prefix, (g+f)%6))
+			}
+			groups = append(groups, grp)
+		}
+	}
+	groups = append(groups, Group{ID: "bridge", Files: []string{"/left/f0", "/right/f0"}})
+
+	worst, best := -1, -1
+	for trials := 1; trials <= 16; trials *= 4 {
+		total := 0
+		for seed := int64(0); seed < 10; seed++ {
+			fams := MinTransfersN(groups, 6, trials, rand.New(rand.NewSource(seed)))
+			total += RedundantTransfers(fams)
+		}
+		if worst == -1 {
+			worst = total
+		}
+		best = total
+	}
+	if best > worst {
+		t.Fatalf("more trials made cuts worse: 1 trial %d vs 16 trials %d", worst, best)
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	groups := []Group{
+		{ID: "g1", Files: []string{"/a", "/b"}},
+		{ID: "g2", Files: []string{"/b", "/c"}},
+		{ID: "g3", Files: []string{"/a", "/b"}},
+	}
+	g := BuildGraph(groups)
+	idx := make(map[string]int)
+	for i, n := range g.Nodes {
+		idx[n] = i
+	}
+	// Cut {a} | {b, c} severs the (a,b) edge of weight 2.
+	if w := cutWeight(g, []int{idx["/a"]}, []int{idx["/b"], idx["/c"]}); w != 2 {
+		t.Fatalf("cutWeight = %d, want 2", w)
+	}
+	// Cut {a, b} | {c} severs (b,c) of weight 1.
+	if w := cutWeight(g, []int{idx["/a"], idx["/b"]}, []int{idx["/c"]}); w != 1 {
+		t.Fatalf("cutWeight = %d, want 1", w)
+	}
+}

@@ -1,0 +1,30 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkIngest(b *testing.B) {
+	ix := New()
+	doc := []byte(`{"keywords":["perovskite","anneal","lattice"],"structure":{"n_atoms":8,"species":["Si"]},"origin":{"store":"mdf","path":"/data/exp"}}`)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.IngestDocument(fmt.Sprintf("d%d", i), doc)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix := New()
+	for i := 0; i < 10000; i++ {
+		doc := fmt.Sprintf(`{"keywords":["kw%d","perovskite"],"n":%d}`, i%100, i)
+		_ = ix.IngestDocument(fmt.Sprintf("d%d", i), []byte(doc))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := ix.Search("perovskite kw42"); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package index implements the search index that Xtract's validated
+// metadata is destined for (the paper ships documents "for client
+// post-processing (e.g., ingestion into a search index)"): an in-memory
+// inverted index over metadata documents with TF scoring, term and field
+// queries, and bulk ingestion from a destination store.
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+
+	"xtract/internal/store"
+)
+
+// Result is one search hit.
+type Result struct {
+	DocID string
+	Score float64
+}
+
+// Index is an inverted index over metadata documents. Safe for
+// concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]int // term -> docID -> term frequency
+	docLen   map[string]int            // docID -> token count
+	docs     int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string]map[string]int),
+		docLen:   make(map[string]int),
+	}
+}
+
+// IngestDocument indexes a JSON metadata document under id. Every string
+// value and every key path contributes terms, so both extracted content
+// (keywords, entities, column names) and structure (which extractors
+// ran) are searchable.
+func (ix *Index) IngestDocument(id string, doc []byte) error {
+	var parsed interface{}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		return fmt.Errorf("index: document %s: %w", id, err)
+	}
+	terms := make(map[string]int)
+	collectTerms(parsed, terms)
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docLen[id]; exists {
+		ix.removeLocked(id)
+	}
+	total := 0
+	for term, tf := range terms {
+		m := ix.postings[term]
+		if m == nil {
+			m = make(map[string]int)
+			ix.postings[term] = m
+		}
+		m[id] = tf
+		total += tf
+	}
+	ix.docLen[id] = total
+	ix.docs++
+	return nil
+}
+
+// removeLocked deletes a document's postings (re-ingestion support).
+func (ix *Index) removeLocked(id string) {
+	for term, m := range ix.postings {
+		if _, ok := m[id]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, term)
+			}
+		}
+	}
+	delete(ix.docLen, id)
+	ix.docs--
+}
+
+// Delete removes a document from the index.
+func (ix *Index) Delete(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[id]; ok {
+		ix.removeLocked(id)
+	}
+}
+
+// collectTerms walks a JSON value accumulating tokens from keys and
+// string values.
+func collectTerms(v interface{}, out map[string]int) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		for k, child := range t {
+			for _, tok := range tokenize(k) {
+				out[tok]++
+			}
+			collectTerms(child, out)
+		}
+	case []interface{}:
+		for _, child := range t {
+			collectTerms(child, out)
+		}
+	case string:
+		for _, tok := range tokenize(t) {
+			out[tok]++
+		}
+	}
+}
+
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// IngestStore bulk-ingests every .json document under dir of a store —
+// the validation service's destination layout. Returns documents indexed.
+func (ix *Index) IngestStore(s store.Store, dir string) (int, error) {
+	infos, err := s.List(dir)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, fi := range infos {
+		if fi.IsDir {
+			n, err := ix.IngestStore(s, fi.Path)
+			count += n
+			if err != nil {
+				return count, err
+			}
+			continue
+		}
+		if !strings.HasSuffix(fi.Name, ".json") {
+			continue
+		}
+		data, err := s.Read(fi.Path)
+		if err != nil {
+			continue
+		}
+		if err := ix.IngestDocument(fi.Path, data); err == nil {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// Search returns documents matching every query term, scored by TF-IDF
+// and normalized by document length, best first.
+func (ix *Index) Search(query string) []Result {
+	terms := tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	scores := make(map[string]float64)
+	for i, term := range terms {
+		posting, ok := ix.postings[term]
+		if !ok {
+			return nil // AND semantics: a missing term empties the result
+		}
+		idf := math.Log(1 + float64(ix.docs)/float64(len(posting)))
+		for docID, tf := range posting {
+			contribution := float64(tf) * idf / math.Sqrt(float64(ix.docLen[docID]+1))
+			if i == 0 {
+				scores[docID] = contribution
+			} else if prev, ok := scores[docID]; ok {
+				scores[docID] = prev + contribution
+			}
+		}
+		// Enforce AND: drop docs missing this term.
+		if i > 0 {
+			for docID := range scores {
+				if _, ok := posting[docID]; !ok {
+					delete(scores, docID)
+				}
+			}
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for docID, score := range scores {
+		out = append(out, Result{DocID: docID, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	return out
+}
+
+// Stats reports document and distinct-term counts.
+func (ix *Index) Stats() (docs, terms int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docs, len(ix.postings)
+}

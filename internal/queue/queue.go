@@ -1,0 +1,204 @@
+// Package queue implements an in-process message queue with the SQS
+// semantics Xtract depends on: at-least-once delivery, visibility
+// timeouts, receipt-based deletion, and approximate depth counters. The
+// paper's crawler→service and service→validator hops both ride on SQS;
+// here they ride on this package.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+)
+
+// ErrUnknownReceipt is returned by Delete and Nack for receipts that do
+// not correspond to an in-flight message.
+var ErrUnknownReceipt = errors.New("queue: unknown receipt handle")
+
+// Message is a received queue message. Receipt must be passed to Delete
+// to acknowledge it; if not deleted before the visibility timeout elapses
+// the message is redelivered.
+type Message struct {
+	ID         string
+	Body       []byte
+	Receipt    string
+	Deliveries int // how many times this message has been received
+}
+
+type entry struct {
+	id         string
+	body       []byte
+	deliveries int
+	// in-flight state
+	inflight  bool
+	receipt   string
+	expiresAt time.Time
+}
+
+// Queue is a FIFO-ordered at-least-once queue. Safe for concurrent use.
+type Queue struct {
+	name string
+	clk  clock.Clock
+
+	mu       sync.Mutex
+	visible  []*entry          // FIFO order
+	inflight map[string]*entry // by receipt
+	seq      int64
+	sent     int64
+	deleted  int64
+}
+
+// New returns an empty queue named name using clk for visibility expiry.
+func New(name string, clk clock.Clock) *Queue {
+	return &Queue{name: name, clk: clk, inflight: make(map[string]*entry)}
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Send enqueues one message and returns its ID.
+func (q *Queue) Send(body []byte) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sendLocked(body)
+}
+
+func (q *Queue) sendLocked(body []byte) string {
+	q.seq++
+	q.sent++
+	e := &entry{id: fmt.Sprintf("%s-%d", q.name, q.seq), body: append([]byte(nil), body...)}
+	q.visible = append(q.visible, e)
+	return e.id
+}
+
+// SendBatch enqueues several messages atomically and returns their IDs.
+func (q *Queue) SendBatch(bodies [][]byte) []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ids := make([]string, len(bodies))
+	for i, b := range bodies {
+		ids[i] = q.sendLocked(b)
+	}
+	return ids
+}
+
+// reclaimLocked moves expired in-flight messages back to the visible
+// queue. Called lazily from every read operation.
+func (q *Queue) reclaimLocked() {
+	if len(q.inflight) == 0 {
+		return
+	}
+	now := q.clk.Now()
+	for receipt, e := range q.inflight {
+		if !e.expiresAt.After(now) {
+			delete(q.inflight, receipt)
+			e.inflight = false
+			e.receipt = ""
+			q.visible = append(q.visible, e)
+		}
+	}
+}
+
+// Receive dequeues up to max messages, making them invisible to other
+// consumers for the visibility duration. Returns nil when the queue has
+// no visible messages.
+func (q *Queue) Receive(max int, visibility time.Duration) []Message {
+	if max <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimLocked()
+	n := max
+	if n > len(q.visible) {
+		n = len(q.visible)
+	}
+	if n == 0 {
+		return nil
+	}
+	now := q.clk.Now()
+	out := make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		e := q.visible[i]
+		q.visible[i] = nil
+		e.deliveries++
+		e.inflight = true
+		q.seq++
+		e.receipt = fmt.Sprintf("r-%s-%d", q.name, q.seq)
+		e.expiresAt = now.Add(visibility)
+		q.inflight[e.receipt] = e
+		out = append(out, Message{ID: e.id, Body: e.body, Receipt: e.receipt, Deliveries: e.deliveries})
+	}
+	q.visible = q.visible[n:]
+	return out
+}
+
+// Delete acknowledges an in-flight message so it is never redelivered.
+func (q *Queue) Delete(receipt string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimLocked()
+	if _, ok := q.inflight[receipt]; !ok {
+		return ErrUnknownReceipt
+	}
+	delete(q.inflight, receipt)
+	q.deleted++
+	return nil
+}
+
+// Nack returns an in-flight message to the visible queue immediately.
+func (q *Queue) Nack(receipt string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.inflight[receipt]
+	if !ok {
+		return ErrUnknownReceipt
+	}
+	delete(q.inflight, receipt)
+	e.inflight = false
+	e.receipt = ""
+	q.visible = append(q.visible, e)
+	return nil
+}
+
+// Len reports the number of currently visible messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimLocked()
+	return len(q.visible)
+}
+
+// InFlight reports the number of received-but-unacknowledged messages.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimLocked()
+	return len(q.inflight)
+}
+
+// Stats reports cumulative sent and deleted counts.
+func (q *Queue) Stats() (sent, deleted int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sent, q.deleted
+}
+
+// Drain receives and acknowledges every visible message, returning the
+// bodies. Intended for tests and for shutdown paths.
+func (q *Queue) Drain() [][]byte {
+	var out [][]byte
+	for {
+		msgs := q.Receive(64, time.Hour)
+		if len(msgs) == 0 {
+			return out
+		}
+		for _, m := range msgs {
+			out = append(out, m.Body)
+			_ = q.Delete(m.Receipt)
+		}
+	}
+}

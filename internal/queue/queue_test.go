@@ -1,0 +1,242 @@
+package queue
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xtract/internal/clock"
+)
+
+func newTestQueue() (*Queue, *clock.Fake) {
+	clk := clock.NewFake(time.Unix(0, 0))
+	return New("test", clk), clk
+}
+
+func TestSendReceiveDelete(t *testing.T) {
+	q, _ := newTestQueue()
+	id := q.Send([]byte("hello"))
+	if id == "" {
+		t.Fatal("empty message id")
+	}
+	msgs := q.Receive(10, time.Minute)
+	if len(msgs) != 1 {
+		t.Fatalf("got %d messages, want 1", len(msgs))
+	}
+	if string(msgs[0].Body) != "hello" {
+		t.Fatalf("body = %q", msgs[0].Body)
+	}
+	if msgs[0].Deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1", msgs[0].Deliveries)
+	}
+	if err := q.Delete(msgs[0].Receipt); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatal("queue not empty after delete")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q, _ := newTestQueue()
+	for i := 0; i < 5; i++ {
+		q.Send([]byte(fmt.Sprintf("m%d", i)))
+	}
+	msgs := q.Receive(5, time.Minute)
+	for i, m := range msgs {
+		if want := fmt.Sprintf("m%d", i); string(m.Body) != want {
+			t.Fatalf("msg[%d] = %q, want %q", i, m.Body, want)
+		}
+	}
+}
+
+func TestVisibilityTimeoutRedelivers(t *testing.T) {
+	q, clk := newTestQueue()
+	q.Send([]byte("x"))
+	msgs := q.Receive(1, 30*time.Second)
+	if len(msgs) != 1 {
+		t.Fatal("expected one message")
+	}
+	// Before the timeout the message is invisible.
+	if got := q.Receive(1, time.Second); got != nil {
+		t.Fatal("message visible during visibility window")
+	}
+	clk.Advance(31 * time.Second)
+	again := q.Receive(1, time.Second)
+	if len(again) != 1 {
+		t.Fatal("message not redelivered after timeout")
+	}
+	if again[0].Deliveries != 2 {
+		t.Fatalf("deliveries = %d, want 2", again[0].Deliveries)
+	}
+	// The old receipt is now invalid.
+	if err := q.Delete(msgs[0].Receipt); err != ErrUnknownReceipt {
+		t.Fatalf("stale receipt delete err = %v, want ErrUnknownReceipt", err)
+	}
+}
+
+func TestNack(t *testing.T) {
+	q, _ := newTestQueue()
+	q.Send([]byte("x"))
+	m := q.Receive(1, time.Minute)[0]
+	if err := q.Nack(m.Receipt); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 1 {
+		t.Fatal("nacked message not visible")
+	}
+	if err := q.Nack("bogus"); err != ErrUnknownReceipt {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendBatch(t *testing.T) {
+	q, _ := newTestQueue()
+	ids := q.SendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if len(ids) != 3 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestReceiveMaxZero(t *testing.T) {
+	q, _ := newTestQueue()
+	q.Send([]byte("a"))
+	if got := q.Receive(0, time.Minute); got != nil {
+		t.Fatal("Receive(0) should return nil")
+	}
+}
+
+func TestStats(t *testing.T) {
+	q, _ := newTestQueue()
+	q.Send([]byte("a"))
+	q.Send([]byte("b"))
+	m := q.Receive(1, time.Minute)[0]
+	_ = q.Delete(m.Receipt)
+	sent, deleted := q.Stats()
+	if sent != 2 || deleted != 1 {
+		t.Fatalf("Stats = %d,%d want 2,1", sent, deleted)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q, _ := newTestQueue()
+	for i := 0; i < 100; i++ {
+		q.Send([]byte{byte(i)})
+	}
+	bodies := q.Drain()
+	if len(bodies) != 100 {
+		t.Fatalf("drained %d, want 100", len(bodies))
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestBodyIsCopied(t *testing.T) {
+	q, _ := newTestQueue()
+	b := []byte("mutate-me")
+	q.Send(b)
+	b[0] = 'X'
+	m := q.Receive(1, time.Minute)[0]
+	if string(m.Body) != "mutate-me" {
+		t.Fatalf("queue aliased caller's buffer: %q", m.Body)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New("conc", clock.NewReal())
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Send([]byte("m"))
+			}
+		}()
+	}
+	var got Counter
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				msgs := q.Receive(16, time.Minute)
+				for _, m := range msgs {
+					if err := q.Delete(m.Receipt); err != nil {
+						t.Error(err)
+					}
+					got.Inc()
+				}
+				if len(msgs) == 0 {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for got.Value() < producers*perProducer {
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	cwg.Wait()
+	if got.Value() != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", got.Value(), producers*perProducer)
+	}
+}
+
+// Counter is a tiny local atomic counter to avoid importing metrics here.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *Counter) Inc() { c.mu.Lock(); c.v++; c.mu.Unlock() }
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+func TestAtLeastOnceNoLoss(t *testing.T) {
+	// Property: for any send count and receive batch size, draining the
+	// queue recovers every message exactly once when every receive is acked.
+	f := func(n, batch uint8) bool {
+		if batch == 0 {
+			batch = 1
+		}
+		q, _ := newTestQueue()
+		for i := 0; i < int(n); i++ {
+			q.Send([]byte{byte(i)})
+		}
+		seen := 0
+		for {
+			msgs := q.Receive(int(batch), time.Hour)
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				if err := q.Delete(m.Receipt); err != nil {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package registry is Xtract's record database — the stand-in for the
+// AWS RDS instance where the paper stores job records and the
+// extractor→function→container→endpoint address tuples. Resolving a tuple
+// charges a query latency the first time and is served from cache on
+// subsequent lookups, reproducing the Figure 3 observation that the bulk
+// of the Xtract-service cost is the first RDS resolve.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/metrics"
+)
+
+// ErrNotFound is returned when a record does not exist.
+var ErrNotFound = errors.New("registry: not found")
+
+// ExtractorRecord maps a registered extractor to its FaaS function, its
+// container, and the endpoints it can execute on (e.g., Docker-only
+// extractors may not run on Singularity-only systems).
+type ExtractorRecord struct {
+	Name        string   `json:"name"`
+	FunctionID  string   `json:"function_id"`
+	ContainerID string   `json:"container_id"`
+	EndpointIDs []string `json:"endpoint_ids"`
+}
+
+// RunsOn reports whether the extractor may execute on endpoint ep.
+// An empty EndpointIDs list means "any endpoint".
+func (r ExtractorRecord) RunsOn(ep string) bool {
+	if len(r.EndpointIDs) == 0 {
+		return true
+	}
+	for _, id := range r.EndpointIDs {
+		if id == ep {
+			return true
+		}
+	}
+	return false
+}
+
+// JobState is the lifecycle state of an extraction job record.
+type JobState string
+
+// Job states.
+const (
+	JobCrawling   JobState = "CRAWLING"
+	JobExtracting JobState = "EXTRACTING"
+	JobComplete   JobState = "COMPLETE"
+	JobFailed     JobState = "FAILED"
+)
+
+// JobRecord is the persisted state of one extraction job.
+type JobRecord struct {
+	ID            string    `json:"id"`
+	State         JobState  `json:"state"`
+	Repositories  []string  `json:"repositories"`
+	Submitted     time.Time `json:"submitted"`
+	GroupsCrawled int64     `json:"groups_crawled"`
+	GroupsDone    int64     `json:"groups_done"`
+	Err           string    `json:"err,omitempty"`
+}
+
+// Registry is the record store. Safe for concurrent use.
+type Registry struct {
+	clk clock.Clock
+	// QueryLatency is charged on every uncached extractor resolve.
+	QueryLatency time.Duration
+
+	mu         sync.Mutex
+	extractors map[string]ExtractorRecord
+	cache      map[string]ExtractorRecord
+	jobs       map[string]JobRecord
+	seq        int
+
+	CacheHits   metrics.Counter
+	CacheMisses metrics.Counter
+}
+
+// New returns an empty registry.
+func New(clk clock.Clock, queryLatency time.Duration) *Registry {
+	return &Registry{
+		clk:          clk,
+		QueryLatency: queryLatency,
+		extractors:   make(map[string]ExtractorRecord),
+		cache:        make(map[string]ExtractorRecord),
+		jobs:         make(map[string]JobRecord),
+	}
+}
+
+// PutExtractor stores (or replaces) an extractor record and invalidates
+// its cache entry.
+func (r *Registry) PutExtractor(rec ExtractorRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.extractors[rec.Name] = rec
+	delete(r.cache, rec.Name)
+}
+
+// ResolveExtractor returns the record for name, charging QueryLatency on
+// a cache miss and caching the result.
+func (r *Registry) ResolveExtractor(name string) (ExtractorRecord, error) {
+	r.mu.Lock()
+	if rec, ok := r.cache[name]; ok {
+		r.mu.Unlock()
+		r.CacheHits.Inc()
+		return rec, nil
+	}
+	rec, ok := r.extractors[name]
+	r.mu.Unlock()
+	r.CacheMisses.Inc()
+	r.clk.Sleep(r.QueryLatency)
+	if !ok {
+		return ExtractorRecord{}, fmt.Errorf("%w: extractor %s", ErrNotFound, name)
+	}
+	r.mu.Lock()
+	r.cache[name] = rec
+	r.mu.Unlock()
+	return rec, nil
+}
+
+// Extractors lists all registered extractor names.
+func (r *Registry) Extractors() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.extractors))
+	for name := range r.extractors {
+		out = append(out, name)
+	}
+	return out
+}
+
+// CreateJob persists a new job record and returns its ID.
+func (r *Registry) CreateJob(repositories []string, now time.Time) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	id := fmt.Sprintf("job-%d", r.seq)
+	r.jobs[id] = JobRecord{
+		ID:           id,
+		State:        JobCrawling,
+		Repositories: append([]string(nil), repositories...),
+		Submitted:    now,
+	}
+	return id
+}
+
+// Job returns a job record.
+func (r *Registry) Job(id string) (JobRecord, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.jobs[id]
+	if !ok {
+		return JobRecord{}, fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	return rec, nil
+}
+
+// UpdateJob applies fn to the job record under the registry lock.
+func (r *Registry) UpdateJob(id string, fn func(*JobRecord)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: job %s", ErrNotFound, id)
+	}
+	fn(&rec)
+	r.jobs[id] = rec
+	return nil
+}

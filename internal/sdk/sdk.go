@@ -1,0 +1,164 @@
+// Package sdk provides XtractClient, the typed HTTP client mirroring the
+// paper's xtract_sdk (Listing 2): authenticate, submit extraction jobs,
+// and poll crawl/extraction status.
+package sdk
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"xtract/internal/api"
+)
+
+// XtractClient talks to an Xtract REST service.
+type XtractClient struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Token is the bearer token attached to every request ("" for
+	// services running without auth).
+	Token string
+	// HTTPClient may be overridden for testing; defaults to a client
+	// with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the service at baseURL.
+func New(baseURL, token string) *XtractClient {
+	return &XtractClient{
+		BaseURL:    baseURL,
+		Token:      token,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// do issues a request and decodes the JSON response into out.
+func (c *XtractClient) do(method, path string, body, out interface{}) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("sdk: %s %s: %s", method, path, eb.Error)
+		}
+		return fmt.Errorf("sdk: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit starts an extraction job and returns its ID.
+func (c *XtractClient) Submit(req api.JobRequest) (string, error) {
+	var resp api.JobResponse
+	if err := c.do(http.MethodPost, "/api/v1/jobs", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.JobID, nil
+}
+
+// JobStatus polls a job.
+func (c *XtractClient) JobStatus(jobID string) (api.JobStatus, error) {
+	var resp api.JobStatus
+	err := c.do(http.MethodGet, "/api/v1/jobs/"+jobID, nil, &resp)
+	return resp, err
+}
+
+// GetCrawlStatus reports crawl progress for a job (Listing 2's
+// get_crawl_status).
+func (c *XtractClient) GetCrawlStatus(jobID string) (int64, error) {
+	st, err := c.JobStatus(jobID)
+	if err != nil {
+		return 0, err
+	}
+	return st.Crawled, nil
+}
+
+// GetExtractStatus reports extraction progress for a job (Listing 2's
+// get_extract_status).
+func (c *XtractClient) GetExtractStatus(jobID string) (int64, error) {
+	st, err := c.JobStatus(jobID)
+	if err != nil {
+		return 0, err
+	}
+	return st.Done, nil
+}
+
+// WaitJob polls until the job completes or the timeout elapses.
+func (c *XtractClient) WaitJob(jobID string, poll, timeout time.Duration) (api.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.JobStatus(jobID)
+		if err != nil {
+			return api.JobStatus{}, err
+		}
+		if st.Complete {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("sdk: job %s did not complete within %v", jobID, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// Sites lists the service's registered sites.
+func (c *XtractClient) Sites() ([]string, error) {
+	var resp api.SitesResponse
+	err := c.do(http.MethodGet, "/api/v1/sites", nil, &resp)
+	return resp.Sites, err
+}
+
+// Extractors lists the service's registered extractors.
+func (c *XtractClient) Extractors() ([]string, error) {
+	var resp api.ExtractorsResponse
+	err := c.do(http.MethodGet, "/api/v1/extractors", nil, &resp)
+	return resp.Extractors, err
+}
+
+// Search queries the service's metadata index.
+func (c *XtractClient) Search(query string) ([]api.SearchHit, error) {
+	var resp api.SearchResponse
+	err := c.do(http.MethodGet, "/api/v1/search?q="+url.QueryEscape(query), nil, &resp)
+	return resp.Hits, err
+}
+
+// RefreshIndex re-ingests validated metadata into the service's index
+// and returns (documents ingested, total docs, distinct terms).
+func (c *XtractClient) RefreshIndex() (api.RefreshResponse, error) {
+	var resp api.RefreshResponse
+	err := c.do(http.MethodPost, "/api/v1/index/refresh", nil, &resp)
+	return resp, err
+}

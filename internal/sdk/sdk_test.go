@@ -1,0 +1,93 @@
+package sdk
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xtract/internal/api"
+)
+
+// canned starts a server returning fixed JSON per path.
+func canned(t *testing.T, responses map[string]string, wantAuth string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantAuth != "" && r.Header.Get("Authorization") != "Bearer "+wantAuth {
+			w.WriteHeader(http.StatusUnauthorized)
+			_, _ = w.Write([]byte(`{"error":"auth required"}`))
+			return
+		}
+		body, ok := responses[r.URL.Path]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write([]byte(`{"error":"not found"}`))
+			return
+		}
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+func TestSubmitParsesJobID(t *testing.T) {
+	ts := canned(t, map[string]string{"/api/v1/jobs": `{"job_id":"job-7"}`}, "")
+	defer ts.Close()
+	c := New(ts.URL, "")
+	id, err := c.Submit(api.JobRequest{Repos: []api.RepoRequest{{Site: "x"}}})
+	if err != nil || id != "job-7" {
+		t.Fatalf("id = %q, %v", id, err)
+	}
+}
+
+func TestErrorEnvelopeSurfaced(t *testing.T) {
+	ts := canned(t, map[string]string{}, "")
+	defer ts.Close()
+	c := New(ts.URL, "")
+	_, err := c.Submit(api.JobRequest{})
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBearerTokenAttached(t *testing.T) {
+	ts := canned(t, map[string]string{"/api/v1/sites": `{"sites":["a"]}`}, "tok-123")
+	defer ts.Close()
+	if _, err := New(ts.URL, "").Sites(); err == nil {
+		t.Fatal("missing token accepted")
+	}
+	sites, err := New(ts.URL, "tok-123").Sites()
+	if err != nil || len(sites) != 1 {
+		t.Fatalf("sites = %v, %v", sites, err)
+	}
+}
+
+func TestWaitJobTimeout(t *testing.T) {
+	ts := canned(t, map[string]string{
+		"/api/v1/jobs/j1": `{"job_id":"j1","state":"EXTRACTING","complete":false}`,
+	}, "")
+	defer ts.Close()
+	c := New(ts.URL, "")
+	if _, err := c.WaitJob("j1", time.Millisecond, 20*time.Millisecond); err == nil {
+		t.Fatal("WaitJob should time out")
+	}
+}
+
+func TestWaitJobCompletes(t *testing.T) {
+	ts := canned(t, map[string]string{
+		"/api/v1/jobs/j1": `{"job_id":"j1","state":"COMPLETE","complete":true,"groups_done":5}`,
+	}, "")
+	defer ts.Close()
+	c := New(ts.URL, "")
+	st, err := c.WaitJob("j1", time.Millisecond, time.Second)
+	if err != nil || !st.Complete || st.Done != 5 {
+		t.Fatalf("st = %+v, %v", st, err)
+	}
+}
+
+func TestServerUnreachable(t *testing.T) {
+	c := New("http://127.0.0.1:1", "")
+	c.HTTPClient = &http.Client{Timeout: 100 * time.Millisecond}
+	if _, err := c.Sites(); err == nil {
+		t.Fatal("unreachable server returned success")
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "time"
+
+// MachineProfile captures the testbed machines of §5.1.
+type MachineProfile struct {
+	Name           string
+	Nodes          int
+	CoresPerNode   int
+	WorkersPerNode int
+	HasCompute     bool
+	// ColdStart is the observed container cold-start on the machine.
+	ColdStart time.Duration
+}
+
+// Testbed machine profiles (paper §5.1).
+var (
+	// Theta: 4392-node Cray XC40, 64-core KNL nodes, Lustre.
+	Theta = MachineProfile{Name: "theta", Nodes: 4392, CoresPerNode: 64,
+		WorkersPerNode: 64, HasCompute: true, ColdStart: 20 * time.Second}
+	// Midway: UChicago campus cluster, Broadwell partition, 28 workers/node.
+	Midway = MachineProfile{Name: "midway", Nodes: 572, CoresPerNode: 28,
+		WorkersPerNode: 28, HasCompute: true, ColdStart: 15 * time.Second}
+	// Jetstream: open research cloud, m1.large (10 vCPU) instances.
+	Jetstream = MachineProfile{Name: "jetstream", Nodes: 320, CoresPerNode: 10,
+		WorkersPerNode: 10, HasCompute: true, ColdStart: 30 * time.Second}
+	// River: UChicago Kubernetes cluster, warmed Docker pods.
+	River = MachineProfile{Name: "river", Nodes: 70, CoresPerNode: 48,
+		WorkersPerNode: 48, HasCompute: true, ColdStart: 70 * time.Second}
+	// Petrel: ANL data service, 3 PB Ceph behind Globus — no compute.
+	Petrel = MachineProfile{Name: "petrel", Nodes: 8, HasCompute: false}
+	// GDrive: Google Drive — storage only, per-file API access.
+	GDrive = MachineProfile{Name: "gdrive", HasCompute: false}
+)
+
+// LinkProfile is a calibrated network path between two sites.
+type LinkProfile struct {
+	BytesPerSec float64
+	PerFile     time.Duration
+}
+
+// linkTable holds effective rates calibrated from the paper's reported
+// transfer times:
+//
+//   - petrel→theta: 61 TB would take 13.3 h (§5.8.1) → ~1.34 GB/s.
+//   - midway→jetstream: Figure 7, 8291 s for ~215 GB → ~26 MB/s.
+//   - petrel→jetstream: Figure 7, 2464 s for ~194 GB → ~79 MB/s.
+//   - petrel→midway: Figure 6, 10 concurrent Globus jobs over a
+//     multi-GB/s path → ~2.4 GB/s aggregate.
+//   - gdrive→river: Table 3, per-file API fetch dominated (~0.3–1.4 s
+//     per file at small sizes).
+var linkTable = map[[2]string]LinkProfile{
+	{"petrel", "theta"}:      {BytesPerSec: 1.34e9, PerFile: 3 * time.Millisecond},
+	{"petrel", "midway"}:     {BytesPerSec: 2.4e9, PerFile: 3 * time.Millisecond},
+	{"midway", "jetstream"}:  {BytesPerSec: 26e6, PerFile: 4 * time.Millisecond},
+	{"petrel", "jetstream"}:  {BytesPerSec: 79e6, PerFile: 4 * time.Millisecond},
+	{"midway2", "jetstream"}: {BytesPerSec: 26e6, PerFile: 4 * time.Millisecond},
+	{"gdrive", "river"}:      {BytesPerSec: 6e6, PerFile: 280 * time.Millisecond},
+	{"midway", "petrel"}:     {BytesPerSec: 79e6, PerFile: 8 * time.Millisecond},
+}
+
+// LinkBetween returns the calibrated link profile for a site pair,
+// falling back to a generic 100 MB/s WAN path.
+func LinkBetween(src, dst string) LinkProfile {
+	if lp, ok := linkTable[[2]string{src, dst}]; ok {
+		return lp
+	}
+	if lp, ok := linkTable[[2]string{dst, src}]; ok {
+		return lp
+	}
+	return LinkProfile{BytesPerSec: 100e6, PerFile: 10 * time.Millisecond}
+}
+
+// NewLinkBetween builds a simulated Link between two sites.
+func NewLinkBetween(s *Sim, src, dst string) *Link {
+	lp := LinkBetween(src, dst)
+	return NewLink(s, lp.BytesPerSec, lp.PerFile)
+}
+
+// CrawlModel captures the crawler-side costs for Figure 4: per-directory
+// listing round trips through a shared NIC whose bandwidth congests once
+// enough worker threads run in parallel.
+type CrawlModel struct {
+	// ListRTT is the remote listing latency per directory.
+	ListRTT time.Duration
+	// BytesPerEntry is the listing payload per file entry.
+	BytesPerEntry int64
+	// NICBytesPerSec is the crawl host's shared NIC rate (the t3.medium
+	// bottleneck the paper hits beyond 16 threads).
+	NICBytesPerSec float64
+}
+
+// DefaultCrawlModel is calibrated to Figure 4: 2.3 M files crawl in
+// ~50 min with 2 threads and ~25 min at 16–32 threads.
+func DefaultCrawlModel() CrawlModel {
+	return CrawlModel{
+		ListRTT:        130 * time.Millisecond,
+		BytesPerEntry:  700,
+		NICBytesPerSec: 1.1e6,
+	}
+}
+
+// SimulateCrawl runs the Figure 4 crawl model: dirs directories of
+// filesPerDir entries crawled by threads workers, and returns completion
+// time plus a trace of (time, files crawled) points sampled per wave.
+func SimulateCrawl(model CrawlModel, dirs, filesPerDir, threads int) (time.Duration, []TracePoint) {
+	s := New()
+	workers := NewStation(s, threads)
+	nic := NewStation(s, 1)
+	var trace []TracePoint
+	files := 0
+	payload := time.Duration(float64(int64(filesPerDir)*model.BytesPerEntry) /
+		model.NICBytesPerSec * float64(time.Second))
+	for i := 0; i < dirs; i++ {
+		workers.Enqueue(model.ListRTT, func() {
+			// The listing body streams back over the shared NIC.
+			nic.Enqueue(payload, func() {
+				files += filesPerDir
+				trace = append(trace, TracePoint{At: s.Now(), Value: float64(files)})
+			})
+		})
+	}
+	done := s.Run()
+	return done, trace
+}
+
+// TracePoint is one (time, value) sample of a simulated trace.
+type TracePoint struct {
+	At    time.Duration
+	Value float64
+}

@@ -1,0 +1,262 @@
+// Package sim is a discrete-event simulator used to reproduce the
+// paper's at-scale experiments (thousands of workers, millions of file
+// groups, multi-terabyte transfers) on a laptop in seconds. It provides
+// an event-heap engine plus the queueing resources an Xtract deployment
+// is made of: FIFO multi-server stations (worker pools, Tika threads),
+// bandwidth-shared links, and a deterministic random source for task
+// duration distributions.
+//
+// The simulator models timing only; the algorithms it exercises —
+// min-transfers, batching policy, offload placement — are the same
+// production code paths used by the live system.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Sim is an event-heap discrete-event simulator. Not safe for concurrent
+// use: all callbacks run on the caller's goroutine inside Run.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+}
+
+// New returns an empty simulation at t=0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until none remain, returning the final time.
+func (s *Sim) Run() time.Duration {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil processes events with timestamps <= limit.
+func (s *Sim) RunUntil(limit time.Duration) time.Duration {
+	for len(s.events) > 0 && s.events[0].at <= limit {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+	return s.now
+}
+
+// Pending reports the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Station is a multi-server FIFO queueing resource: up to Capacity jobs
+// are serviced concurrently; excess jobs wait in arrival order. It models
+// worker pools (funcX workers on an endpoint), the funcX dispatch thread
+// (capacity 1), crawler NICs, and Tika thread pools.
+type Station struct {
+	sim      *Sim
+	Capacity int
+
+	busy  int
+	queue []stationJob
+
+	// Busy time accounting for utilization/core-hour reports.
+	busySince map[int]time.Duration
+	BusyTotal time.Duration
+	Served    int64
+	maxQueue  int
+}
+
+type stationJob struct {
+	duration time.Duration
+	onDone   func()
+}
+
+// NewStation creates a station with the given service capacity.
+func NewStation(sim *Sim, capacity int) *Station {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Station{sim: sim, Capacity: capacity}
+}
+
+// Enqueue submits a job with the given service duration; onDone fires at
+// completion (may be nil).
+func (st *Station) Enqueue(duration time.Duration, onDone func()) {
+	j := stationJob{duration: duration, onDone: onDone}
+	if st.busy < st.Capacity {
+		st.start(j)
+		return
+	}
+	st.queue = append(st.queue, j)
+	if len(st.queue) > st.maxQueue {
+		st.maxQueue = len(st.queue)
+	}
+}
+
+func (st *Station) start(j stationJob) {
+	st.busy++
+	st.BusyTotal += j.duration
+	st.sim.After(j.duration, func() {
+		st.busy--
+		st.Served++
+		if j.onDone != nil {
+			j.onDone()
+		}
+		if len(st.queue) > 0 && st.busy < st.Capacity {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			st.start(next)
+		}
+	})
+}
+
+// QueueLen reports jobs waiting (not in service).
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// Busy reports jobs in service.
+func (st *Station) Busy() int { return st.busy }
+
+// MaxQueue reports the high-water queue mark.
+func (st *Station) MaxQueue() int { return st.maxQueue }
+
+// Link models a network path with a fixed aggregate bandwidth and
+// per-file overhead. Transfers share the bandwidth by FIFO interleaving
+// at file granularity (a capacity-1 station whose service time is the
+// file's serialization delay), which preserves the aggregate rate —
+// the property the paper's Figure 6 and 7 results depend on.
+type Link struct {
+	station *Station
+	// BytesPerSec is the link's aggregate data rate.
+	BytesPerSec float64
+	// PerFile is the fixed per-file overhead (checksum, control traffic).
+	PerFile time.Duration
+
+	BytesMoved int64
+	FilesMoved int64
+}
+
+// NewLink creates a link on the simulation.
+func NewLink(sim *Sim, bytesPerSec float64, perFile time.Duration) *Link {
+	return &Link{
+		station:     NewStation(sim, 1),
+		BytesPerSec: bytesPerSec,
+		PerFile:     perFile,
+	}
+}
+
+// Send schedules the transfer of one file; onDone fires at delivery.
+func (l *Link) Send(bytes int64, onDone func()) {
+	d := l.PerFile
+	if l.BytesPerSec > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / l.BytesPerSec * float64(time.Second))
+	}
+	l.BytesMoved += bytes
+	l.FilesMoved++
+	l.station.Enqueue(d, onDone)
+}
+
+// SendBatch schedules a multi-file transfer; onDone fires when the last
+// file lands.
+func (l *Link) SendBatch(sizes []int64, onDone func()) {
+	if len(sizes) == 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	remaining := len(sizes)
+	for _, b := range sizes {
+		l.Send(b, func() {
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone()
+			}
+		})
+	}
+}
+
+// Rand is a deterministic random source with the distributions used for
+// task durations and file sizes.
+type Rand struct{ *rand.Rand }
+
+// NewRand returns a seeded random source.
+func NewRand(seed int64) Rand { return Rand{rand.New(rand.NewSource(seed))} }
+
+// LogNormal samples a log-normal with the given median and sigma (shape).
+// Heavy-tailed service times — the ASE extractor's multi-hour stragglers
+// in Figure 8 — come from large sigma values.
+func (r Rand) LogNormal(median time.Duration, sigma float64) time.Duration {
+	x := math.Exp(r.NormFloat64()*sigma) * float64(median)
+	return time.Duration(x)
+}
+
+// Uniform samples uniformly in [min, max).
+func (r Rand) Uniform(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(r.Int63n(int64(max-min)))
+}
+
+// Pareto samples a bounded Pareto with the given minimum and shape alpha,
+// capped at cap. Models file size distributions in scientific
+// repositories (many small files, few huge ones).
+func (r Rand) Pareto(min int64, alpha float64, cap int64) int64 {
+	u := r.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	v := float64(min) / math.Pow(u, 1/alpha)
+	if v > float64(cap) {
+		v = float64(cap)
+	}
+	return int64(v)
+}

@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventTieBreakFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(time.Second, func() {
+		s.After(time.Second, func() { fired = true })
+	})
+	if end := s.Run(); end != 2*time.Second || !fired {
+		t.Fatalf("end = %v fired = %v", end, fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(3 * time.Second)
+	if count != 3 || s.Pending() != 2 {
+		t.Fatalf("count = %d pending = %d", count, s.Pending())
+	}
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	s := New()
+	s.After(time.Second, func() {
+		s.At(0, func() {}) // in the past: must not move time backwards
+	})
+	if end := s.Run(); end != time.Second {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestStationCapacity(t *testing.T) {
+	s := New()
+	st := NewStation(s, 2)
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		st.Enqueue(10*time.Second, func() { done = append(done, s.Now()) })
+	}
+	s.Run()
+	// Two waves: 10s and 20s.
+	if len(done) != 4 || done[0] != 10*time.Second || done[3] != 20*time.Second {
+		t.Fatalf("done = %v", done)
+	}
+	if st.Served != 4 || st.BusyTotal != 40*time.Second {
+		t.Fatalf("served = %d busy = %v", st.Served, st.BusyTotal)
+	}
+	if st.MaxQueue() != 2 {
+		t.Fatalf("max queue = %d", st.MaxQueue())
+	}
+}
+
+func TestStationFIFO(t *testing.T) {
+	s := New()
+	st := NewStation(s, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		st.Enqueue(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("station not FIFO: %v", order)
+		}
+	}
+}
+
+func TestLinkAggregateRate(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e6, 0) // 1 MB/s
+	finished := time.Duration(0)
+	l.SendBatch([]int64{5e5, 5e5, 1e6}, func() { finished = s.Now() })
+	s.Run()
+	// 2 MB total at 1 MB/s → 2 s regardless of file split.
+	if finished != 2*time.Second {
+		t.Fatalf("finished = %v", finished)
+	}
+	if l.BytesMoved != 2e6 || l.FilesMoved != 3 {
+		t.Fatalf("link stats = %d bytes %d files", l.BytesMoved, l.FilesMoved)
+	}
+}
+
+func TestLinkPerFileOverheadDominatesSmallFiles(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e9, 100*time.Millisecond)
+	var finished time.Duration
+	sizes := make([]int64, 100)
+	for i := range sizes {
+		sizes[i] = 10 // tiny
+	}
+	l.SendBatch(sizes, func() { finished = s.Now() })
+	s.Run()
+	if finished < 10*time.Second {
+		t.Fatalf("per-file overhead not charged: %v", finished)
+	}
+}
+
+func TestLinkEmptyBatch(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e6, 0)
+	called := false
+	l.SendBatch(nil, func() { called = true })
+	s.Run()
+	if !called {
+		t.Fatal("empty batch callback not fired")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.LogNormal(time.Second, 0.5) != b.LogNormal(time.Second, 0.5) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRand(1)
+	below := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.LogNormal(time.Second, 1.0) < time.Second {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("median fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRand(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(100, 1.2, 1e6)
+		if v < 100 || v > 1e6 {
+			t.Fatalf("pareto out of bounds: %d", v)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(time.Second, 2*time.Second)
+		if v < time.Second || v >= 2*time.Second {
+			t.Fatalf("uniform out of bounds: %v", v)
+		}
+	}
+	if r.Uniform(time.Second, time.Second) != time.Second {
+		t.Fatal("degenerate uniform")
+	}
+}
+
+func specs(n int, dur time.Duration) []InvocationSpec {
+	out := make([]InvocationSpec, n)
+	for i := range out {
+		out[i] = InvocationSpec{Duration: dur, Files: 1, Tag: "t"}
+	}
+	return out
+}
+
+func TestPipelineComputeBound(t *testing.T) {
+	// Few workers, long tasks: completion ≈ N×dur/W.
+	s := New()
+	p := NewPipeline(s, PipelineCosts{}, 4, 16)
+	ep := NewEndpoint(s, "ep", 8, 0)
+	get := p.Submit(specs(800, time.Second), ep, "c", nil)
+	s.Run()
+	res := get()
+	if res.Invocations != 800 {
+		t.Fatalf("invocations = %d", res.Invocations)
+	}
+	want := 100 * time.Second // 800 × 1s / 8 workers
+	if res.Completion < want || res.Completion > want+5*time.Second {
+		t.Fatalf("completion = %v, want ~%v", res.Completion, want)
+	}
+}
+
+func TestPipelineDispatchBound(t *testing.T) {
+	// Many workers, instant tasks, serial dispatch: completion ≈ dispatch.
+	s := New()
+	costs := PipelineCosts{DispatchPerTask: 10 * time.Millisecond}
+	p := NewPipeline(s, costs, 1, 16)
+	ep := NewEndpoint(s, "ep", 10000, 0)
+	get := p.Submit(specs(1000, time.Millisecond), ep, "c", nil)
+	s.Run()
+	res := get()
+	if res.Completion < 10*time.Second {
+		t.Fatalf("completion = %v, want >= 10s (dispatch-bound)", res.Completion)
+	}
+}
+
+func TestPipelineBatchingAmortizesDispatch(t *testing.T) {
+	run := func(xb int) time.Duration {
+		s := New()
+		costs := PipelineCosts{DispatchPerTask: 10 * time.Millisecond}
+		p := NewPipeline(s, costs, xb, 16)
+		ep := NewEndpoint(s, "ep", 10000, 0)
+		get := p.Submit(specs(1000, time.Millisecond), ep, "c", nil)
+		s.Run()
+		return get().Completion
+	}
+	if b8 := run(8); b8 >= run(1) {
+		t.Fatalf("batching did not amortize dispatch: batch8 = %v", b8)
+	}
+}
+
+func TestPipelineColdStart(t *testing.T) {
+	s := New()
+	p := NewPipeline(s, PipelineCosts{}, 1, 16)
+	ep := NewEndpoint(s, "ep", 2, 30*time.Second)
+	get := p.Submit(specs(4, time.Second), ep, "matio", nil)
+	s.Run()
+	res := get()
+	// First 2 tasks (one per worker slot) pay the cold start; the next 2
+	// run warm: 31s + 1s = 32s.
+	if res.Completion != 32*time.Second {
+		t.Fatalf("completion = %v, want 32s", res.Completion)
+	}
+}
+
+func TestPipelineCompletionTimesMonotone(t *testing.T) {
+	s := New()
+	p := NewPipeline(s, DefaultCosts(), 2, 8)
+	ep := NewEndpoint(s, "ep", 4, 0)
+	get := p.Submit(specs(100, 100*time.Millisecond), ep, "c", nil)
+	s.Run()
+	res := get()
+	for i := 1; i < len(res.CompletionTimes); i++ {
+		if res.CompletionTimes[i] < res.CompletionTimes[i-1] {
+			t.Fatal("completion times not monotone")
+		}
+	}
+}
+
+func TestSimulateCrawlFigure4Shape(t *testing.T) {
+	model := DefaultCrawlModel()
+	const dirs, filesPerDir = 46000, 50 // 2.3M files
+	t2, _ := SimulateCrawl(model, dirs, filesPerDir, 2)
+	t16, trace := SimulateCrawl(model, dirs, filesPerDir, 16)
+	t32, _ := SimulateCrawl(model, dirs, filesPerDir, 32)
+	// ~50 min at 2 threads, ~25 min at 16; minimal benefit beyond 16.
+	if t2 < 40*time.Minute || t2 > 60*time.Minute {
+		t.Fatalf("2 threads = %v, want ~50min", t2)
+	}
+	if t16 < 20*time.Minute || t16 > 30*time.Minute {
+		t.Fatalf("16 threads = %v, want ~25min", t16)
+	}
+	gain := float64(t16-t32) / float64(t16)
+	if gain > 0.10 {
+		t.Fatalf("32 threads still %v%% faster than 16 (congestion missing)", gain*100)
+	}
+	if len(trace) != dirs {
+		t.Fatalf("trace points = %d", len(trace))
+	}
+}
+
+func TestLinkBetweenFallback(t *testing.T) {
+	if lp := LinkBetween("petrel", "theta"); lp.BytesPerSec != 1.34e9 {
+		t.Fatalf("petrel→theta = %+v", lp)
+	}
+	// Reverse lookup works.
+	if lp := LinkBetween("theta", "petrel"); lp.BytesPerSec != 1.34e9 {
+		t.Fatalf("theta→petrel = %+v", lp)
+	}
+	if lp := LinkBetween("nowhere", "elsewhere"); lp.BytesPerSec != 100e6 {
+		t.Fatalf("fallback = %+v", lp)
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	if Theta.Nodes != 4392 || Theta.WorkersPerNode != 64 {
+		t.Fatalf("Theta = %+v", Theta)
+	}
+	if Petrel.HasCompute || GDrive.HasCompute {
+		t.Fatal("storage-only profiles report compute")
+	}
+	if !Midway.HasCompute || Midway.WorkersPerNode != 28 {
+		t.Fatalf("Midway = %+v", Midway)
+	}
+}
+
+func TestStationWorkConservation(t *testing.T) {
+	// Property: BusyTotal equals the sum of job durations, and the
+	// completion time is bounded below by total work / capacity and
+	// above by total work (serial).
+	f := func(durationsMs []uint16, capacity uint8) bool {
+		if len(durationsMs) == 0 {
+			return true
+		}
+		cap := int(capacity)%8 + 1
+		s := New()
+		st := NewStation(s, cap)
+		var total time.Duration
+		for _, ms := range durationsMs {
+			d := time.Duration(ms) * time.Millisecond
+			total += d
+			st.Enqueue(d, nil)
+		}
+		end := s.Run()
+		if st.BusyTotal != total {
+			return false
+		}
+		lower := total / time.Duration(cap)
+		return end >= lower-time.Millisecond && end <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkConservation(t *testing.T) {
+	// Property: total transfer time over a link is at least
+	// bytes/rate + files×overhead (FIFO serialization preserves the
+	// aggregate rate).
+	f := func(sizesKB []uint16) bool {
+		if len(sizesKB) == 0 {
+			return true
+		}
+		s := New()
+		l := NewLink(s, 1e6, time.Millisecond)
+		var totalBytes int64
+		sizes := make([]int64, len(sizesKB))
+		for i, kb := range sizesKB {
+			sizes[i] = int64(kb) * 1024
+			totalBytes += sizes[i]
+		}
+		var done time.Duration
+		l.SendBatch(sizes, func() { done = s.Now() })
+		s.Run()
+		want := time.Duration(float64(totalBytes)/1e6*float64(time.Second)) +
+			time.Duration(len(sizes))*time.Millisecond
+		diff := done - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Duration(len(sizes))*time.Microsecond+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineInvocationConservation(t *testing.T) {
+	// Property: every submitted invocation completes exactly once, for
+	// any batch configuration.
+	f := func(n uint8, xb, fxb uint8) bool {
+		count := int(n)%200 + 1
+		s := New()
+		p := NewPipeline(s, DefaultCosts(), int(xb)%20+1, int(fxb)%20+1)
+		ep := NewEndpoint(s, "ep", 16, 0)
+		get := p.Submit(specs(count, 10*time.Millisecond), ep, "c", nil)
+		s.Run()
+		return get().Invocations == count && int(ep.Completed) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

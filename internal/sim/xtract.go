@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"time"
+)
+
+// InvocationSpec describes one extractor invocation (one group) for the
+// simulated pipeline.
+type InvocationSpec struct {
+	// Duration is the extractor's execution time for this group.
+	Duration time.Duration
+	// Files is the group's file count (dispatch payload grows with it).
+	Files int
+	// Bytes is the group's total file size (used when staging).
+	Bytes int64
+	// Tag labels the invocation (extractor name) for reporting.
+	Tag string
+}
+
+// PipelineCosts is the calibrated control-plane cost model, mirroring the
+// live faas.Costs knobs plus the payload-dependent delivery term the
+// paper identifies ("limited by the rate at which funcX delivers tasks
+// and data to an endpoint", §5.2.1).
+type PipelineCosts struct {
+	// SubmitPerRequest is the web-service round trip per funcX submit
+	// call; amortized across the funcX batch.
+	SubmitPerRequest time.Duration
+	// DispatchPerTask is the fixed service→endpoint delivery cost per
+	// funcX task.
+	DispatchPerTask time.Duration
+	// DispatchPerFile is the delivery cost per file reference in a task
+	// payload (bigger family batches ship more metadata).
+	DispatchPerFile time.Duration
+	// SerializePerInvocation is the client-side serialization cost per
+	// invocation within a task.
+	SerializePerInvocation time.Duration
+	// OversizeFactor penalizes very large Xtract batches superlinearly,
+	// modeling funcX request size limits and re-chunking; the per-task
+	// dispatch gains a term OversizeFactor × XtractBatch² per task.
+	OversizeFactor time.Duration
+	// WorkerOverheadPerTask is the endpoint-side per-task overhead
+	// (deserialization, container dispatch) charged on the worker.
+	WorkerOverheadPerTask time.Duration
+	// ResultPerTask is the result-return cost charged on the dispatcher.
+	ResultPerTask time.Duration
+}
+
+// ThetaCosts returns the cost model calibrated for the Theta endpoint
+// (Figure 2 knees at 2048/4096 workers, §5.2.3 peak throughputs): the
+// service and ALCF sit behind fast paths, so per-request overheads are
+// small and delivery is file-payload dominated.
+func ThetaCosts() PipelineCosts {
+	return PipelineCosts{
+		SubmitPerRequest:       20 * time.Millisecond,
+		DispatchPerTask:        1200 * time.Microsecond,
+		DispatchPerFile:        450 * time.Microsecond,
+		SerializePerInvocation: 150 * time.Microsecond,
+		OversizeFactor:         150 * time.Microsecond,
+		WorkerOverheadPerTask:  4 * time.Millisecond,
+		ResultPerTask:          200 * time.Microsecond,
+	}
+}
+
+// MidwayCosts returns the cost model calibrated for the Midway endpoint
+// (Figure 5 batching surface, Table 2): a longer WAN path to the cloud
+// service makes per-request and per-task overheads heavier, which is why
+// batching pays off so visibly there.
+func MidwayCosts() PipelineCosts {
+	return PipelineCosts{
+		SubmitPerRequest:       60 * time.Millisecond,
+		DispatchPerTask:        6 * time.Millisecond,
+		DispatchPerFile:        600 * time.Microsecond,
+		SerializePerInvocation: 150 * time.Microsecond,
+		OversizeFactor:         150 * time.Microsecond,
+		WorkerOverheadPerTask:  4 * time.Millisecond,
+		ResultPerTask:          200 * time.Microsecond,
+	}
+}
+
+// DefaultCosts is the generic cost model (the Theta calibration).
+func DefaultCosts() PipelineCosts { return ThetaCosts() }
+
+// Endpoint is a simulated funcX endpoint: a worker pool with container
+// cold-start behavior.
+type Endpoint struct {
+	Name    string
+	Workers *Station
+	// ColdStart is charged the first time each container runs on each
+	// worker slot (approximated: the first Workers tasks of a container).
+	ColdStart time.Duration
+
+	coldRemaining map[string]int
+	Completed     int64
+}
+
+// NewEndpoint creates a simulated endpoint with workers.
+func NewEndpoint(s *Sim, name string, workers int, coldStart time.Duration) *Endpoint {
+	return &Endpoint{
+		Name:          name,
+		Workers:       NewStation(s, workers),
+		ColdStart:     coldStart,
+		coldRemaining: make(map[string]int),
+	}
+}
+
+// coldPenalty returns the cold-start charge for one task of a container.
+func (e *Endpoint) coldPenalty(container string) time.Duration {
+	if e.ColdStart == 0 {
+		return 0
+	}
+	if _, seen := e.coldRemaining[container]; !seen {
+		e.coldRemaining[container] = e.Workers.Capacity
+	}
+	if e.coldRemaining[container] > 0 {
+		e.coldRemaining[container]--
+		return e.ColdStart
+	}
+	return 0
+}
+
+// Pipeline is the simulated Xtract service: a serial dispatcher feeding
+// one or more endpoints, with two-level batching.
+type Pipeline struct {
+	Sim        *Sim
+	Costs      PipelineCosts
+	Dispatcher *Station // capacity 1: the service/funcX delivery path
+
+	// XtractBatch is how many invocations ride in one funcX task.
+	XtractBatch int
+	// FuncXBatch is how many tasks ride in one submit request.
+	FuncXBatch int
+}
+
+// NewPipeline creates a pipeline with the given batching configuration.
+func NewPipeline(s *Sim, costs PipelineCosts, xtractBatch, funcXBatch int) *Pipeline {
+	if xtractBatch < 1 {
+		xtractBatch = 1
+	}
+	if funcXBatch < 1 {
+		funcXBatch = 1
+	}
+	return &Pipeline{
+		Sim:         s,
+		Costs:       costs,
+		Dispatcher:  NewStation(s, 1),
+		XtractBatch: xtractBatch,
+		FuncXBatch:  funcXBatch,
+	}
+}
+
+// RunResult summarizes one simulated extraction run.
+type RunResult struct {
+	// Completion is the virtual time the last invocation finished.
+	Completion time.Duration
+	// Invocations is the number of completed invocations.
+	Invocations int
+	// CompletionTimes, when requested, holds one completion offset per
+	// invocation in finish order.
+	CompletionTimes []time.Duration
+}
+
+// Submit schedules all invocations through the pipeline onto the
+// endpoint. onInvocationDone (optional) fires at each invocation finish.
+// Call Sim.Run() afterwards; the returned closure then yields the result.
+func (p *Pipeline) Submit(specs []InvocationSpec, ep *Endpoint, container string,
+	onInvocationDone func(spec InvocationSpec, at time.Duration)) func() RunResult {
+
+	res := &RunResult{}
+	// Chunk invocations into Xtract batches (tasks).
+	type task struct {
+		specs []InvocationSpec
+		files int
+	}
+	var tasks []task
+	for start := 0; start < len(specs); start += p.XtractBatch {
+		end := start + p.XtractBatch
+		if end > len(specs) {
+			end = len(specs)
+		}
+		t := task{specs: specs[start:end]}
+		for _, sp := range t.specs {
+			t.files += sp.Files
+		}
+		tasks = append(tasks, t)
+	}
+
+	// Chunk tasks into funcX submit requests and run them through the
+	// serial dispatcher, then onto the endpoint workers.
+	dispatchTask := func(t task) {
+		cost := p.Costs.DispatchPerTask +
+			time.Duration(t.files)*p.Costs.DispatchPerFile +
+			time.Duration(len(t.specs))*p.Costs.SerializePerInvocation +
+			time.Duration(p.XtractBatch*p.XtractBatch)*p.Costs.OversizeFactor +
+			p.Costs.ResultPerTask
+		p.Dispatcher.Enqueue(cost, func() {
+			// Task delivered: runs serially on one worker.
+			var service time.Duration
+			service = p.Costs.WorkerOverheadPerTask + ep.coldPenalty(container)
+			for _, sp := range t.specs {
+				service += sp.Duration
+			}
+			specsCopy := t.specs
+			ep.Workers.Enqueue(service, func() {
+				at := p.Sim.Now()
+				for _, sp := range specsCopy {
+					res.Invocations++
+					res.CompletionTimes = append(res.CompletionTimes, at)
+					if onInvocationDone != nil {
+						onInvocationDone(sp, at)
+					}
+					ep.Completed++
+				}
+				if at > res.Completion {
+					res.Completion = at
+				}
+			})
+		})
+	}
+	for start := 0; start < len(tasks); start += p.FuncXBatch {
+		end := start + p.FuncXBatch
+		if end > len(tasks) {
+			end = len(tasks)
+		}
+		batch := tasks[start:end]
+		// The submit request overhead is paid once per funcX batch on the
+		// dispatcher before its tasks flow.
+		p.Dispatcher.Enqueue(p.Costs.SubmitPerRequest, nil)
+		for _, t := range batch {
+			dispatchTask(t)
+		}
+	}
+	return func() RunResult { return *res }
+}

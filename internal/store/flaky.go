@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FlakyStore wraps a Store and injects transient failures: every Nth
+// operation of each kind returns an error instead of executing. Used by
+// failure-injection tests to verify that crawls, transfers, and
+// extractions degrade gracefully when a storage system misbehaves.
+type FlakyStore struct {
+	inner Store
+	// FailEvery makes every Nth operation fail; 0 disables injection.
+	FailEvery int
+
+	mu       sync.Mutex
+	ops      int
+	injected int
+}
+
+// NewFlaky wraps inner so every failEvery-th operation fails.
+func NewFlaky(inner Store, failEvery int) *FlakyStore {
+	return &FlakyStore{inner: inner, FailEvery: failEvery}
+}
+
+// shouldFail advances the operation counter and reports injection.
+func (f *FlakyStore) shouldFail(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.FailEvery > 0 && f.ops%f.FailEvery == 0 {
+		f.injected++
+		return fmt.Errorf("store: injected %s failure (op %d)", op, f.ops)
+	}
+	return nil
+}
+
+// Injected reports how many failures were injected.
+func (f *FlakyStore) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Name implements Store.
+func (f *FlakyStore) Name() string { return f.inner.Name() }
+
+// List implements Store.
+func (f *FlakyStore) List(dir string) ([]FileInfo, error) {
+	if err := f.shouldFail("list"); err != nil {
+		return nil, err
+	}
+	return f.inner.List(dir)
+}
+
+// Read implements Store.
+func (f *FlakyStore) Read(p string) ([]byte, error) {
+	if err := f.shouldFail("read"); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(p)
+}
+
+// Write implements Store.
+func (f *FlakyStore) Write(p string, data []byte) error {
+	if err := f.shouldFail("write"); err != nil {
+		return err
+	}
+	return f.inner.Write(p, data)
+}
+
+// Stat implements Store.
+func (f *FlakyStore) Stat(p string) (FileInfo, error) {
+	if err := f.shouldFail("stat"); err != nil {
+		return FileInfo{}, err
+	}
+	return f.inner.Stat(p)
+}
+
+// Delete implements Store.
+func (f *FlakyStore) Delete(p string) error {
+	if err := f.shouldFail("delete"); err != nil {
+		return err
+	}
+	return f.inner.Delete(p)
+}

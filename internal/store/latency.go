@@ -1,0 +1,85 @@
+package store
+
+import (
+	"time"
+
+	"xtract/internal/clock"
+)
+
+// LatencyProfile models the cost of talking to a remote store: a fixed
+// per-request round trip plus a bandwidth-limited payload time. These are
+// the knobs calibrated from the paper's Figure 3 (Globus listing latency,
+// HTTPS fetch latency, Drive API latency).
+type LatencyProfile struct {
+	// ListRTT is charged per List call (directory listing round trip).
+	ListRTT time.Duration
+	// ReadRTT is charged per Read call before any bytes flow.
+	ReadRTT time.Duration
+	// WriteRTT is charged per Write call before any bytes flow.
+	WriteRTT time.Duration
+	// BytesPerSec limits payload transfer; <= 0 means unlimited.
+	BytesPerSec float64
+}
+
+// payloadTime returns the bandwidth-limited time for n bytes.
+func (lp LatencyProfile) payloadTime(n int64) time.Duration {
+	if lp.BytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / lp.BytesPerSec * float64(time.Second))
+}
+
+// LatencyStore wraps a Store and charges LatencyProfile costs on each
+// operation via the supplied clock. With a Fake clock the costs are
+// virtual; with the real clock they actually elapse.
+type LatencyStore struct {
+	inner   Store
+	clk     clock.Clock
+	profile LatencyProfile
+}
+
+// WithLatency wraps inner so every operation sleeps per profile.
+func WithLatency(inner Store, clk clock.Clock, profile LatencyProfile) *LatencyStore {
+	return &LatencyStore{inner: inner, clk: clk, profile: profile}
+}
+
+// Name implements Store.
+func (l *LatencyStore) Name() string { return l.inner.Name() }
+
+// List implements Store.
+func (l *LatencyStore) List(dir string) ([]FileInfo, error) {
+	l.clk.Sleep(l.profile.ListRTT)
+	return l.inner.List(dir)
+}
+
+// Read implements Store.
+func (l *LatencyStore) Read(p string) ([]byte, error) {
+	l.clk.Sleep(l.profile.ReadRTT)
+	data, err := l.inner.Read(p)
+	if err != nil {
+		return nil, err
+	}
+	l.clk.Sleep(l.profile.payloadTime(int64(len(data))))
+	return data, nil
+}
+
+// Write implements Store.
+func (l *LatencyStore) Write(p string, data []byte) error {
+	l.clk.Sleep(l.profile.WriteRTT + l.profile.payloadTime(int64(len(data))))
+	return l.inner.Write(p, data)
+}
+
+// Stat implements Store. Stat rides the listing RTT.
+func (l *LatencyStore) Stat(p string) (FileInfo, error) {
+	l.clk.Sleep(l.profile.ListRTT)
+	return l.inner.Stat(p)
+}
+
+// Delete implements Store.
+func (l *LatencyStore) Delete(p string) error {
+	l.clk.Sleep(l.profile.WriteRTT)
+	return l.inner.Delete(p)
+}
+
+// Inner returns the wrapped store.
+func (l *LatencyStore) Inner() Store { return l.inner }

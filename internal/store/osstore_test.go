@@ -1,0 +1,111 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func newOSStore(t *testing.T) *OSStore {
+	t.Helper()
+	s, err := NewOSStore("local", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOSStoreWriteReadStat(t *testing.T) {
+	s := newOSStore(t)
+	if err := s.Write("/data/exp/file.csv", []byte("a,b\n1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read("/data/exp/file.csv")
+	if err != nil || string(got) != "a,b\n1,2\n" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	info, err := s.Stat("/data/exp/file.csv")
+	if err != nil || info.Size != 8 || info.Extension != "csv" || info.IsDir {
+		t.Fatalf("Stat = %+v, %v", info, err)
+	}
+}
+
+func TestOSStoreList(t *testing.T) {
+	s := newOSStore(t)
+	_ = s.Write("/d/a.txt", []byte("1"))
+	_ = s.Write("/d/sub/b.txt", []byte("2"))
+	infos, err := s.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("infos = %+v", infos)
+	}
+	var haveFile, haveDir bool
+	for _, fi := range infos {
+		if fi.Name == "a.txt" && !fi.IsDir && fi.Path == "/d/a.txt" {
+			haveFile = true
+		}
+		if fi.Name == "sub" && fi.IsDir {
+			haveDir = true
+		}
+	}
+	if !haveFile || !haveDir {
+		t.Fatalf("listing incomplete: %+v", infos)
+	}
+}
+
+func TestOSStoreErrors(t *testing.T) {
+	s := newOSStore(t)
+	if _, err := s.Read("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.List("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOSStorePathEscapeRejected(t *testing.T) {
+	s := newOSStore(t)
+	// Clean() collapses "..", so these resolve inside the root — verify
+	// they cannot read outside it.
+	if _, err := s.Read("/../../../../etc/passwd"); err == nil {
+		t.Fatal("escape read succeeded")
+	}
+}
+
+func TestOSStoreDelete(t *testing.T) {
+	s := newOSStore(t)
+	_ = s.Write("/f.txt", []byte("x"))
+	if err := s.Delete("/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/f.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s.Write("/d/g.txt", []byte("x"))
+	if err := s.Delete("/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOSStoreName(t *testing.T) {
+	s := newOSStore(t)
+	if s.Name() != "local" || s.Root() == "" {
+		t.Fatal("identity broken")
+	}
+}
+
+func TestNewOSStoreOnFile(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewOSStore("x", dir)
+	_ = s.Write("/f", []byte("x"))
+	if _, err := NewOSStore("bad", dir+"/f"); err == nil {
+		t.Fatal("NewOSStore on a file should fail")
+	}
+	if _, err := NewOSStore("bad", dir+"/nope"); err == nil {
+		t.Fatal("NewOSStore on missing dir should fail")
+	}
+}

@@ -1,0 +1,191 @@
+// Package tika implements the Apache-Tika-like baseline the paper
+// compares against in Table 2: a standalone metadata extraction server
+// with a fixed pool of processing threads, where parser choice is made
+// per file from MIME type detection. Three deliberate limitations mirror
+// the real system's position in the evaluation:
+//
+//   - MIME-driven parser choice: 'text/plain' covers both tabular and
+//     free text, so a text file containing a table gets only the text
+//     parser — no dynamic plan, no second extractor.
+//   - One file per request, no grouping: multi-file logical units (VASP
+//     calculation sets) are parsed file-by-file without group context.
+//   - No data fabric or batching: callers must move files themselves
+//     (the paper uses Xtract's fabric to feed Tika in Table 2).
+//
+// Its parsers reuse this repository's extractor implementations with a
+// configurable per-request overhead, matching the paper's observation
+// that Xtract executes extractions ~20% faster than Tika on average.
+package tika
+
+import (
+	"bytes"
+	"strings"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/extractors"
+	"xtract/internal/family"
+	"xtract/internal/metrics"
+	"xtract/internal/store"
+)
+
+// Server is an in-process Tika-like extraction server.
+type Server struct {
+	// Threads bounds concurrent parse requests, like Tika's worker pool.
+	Threads int
+	// Overhead is charged per request (JVM dispatch, detection, and the
+	// generic-parser penalty vs. Xtract's specialized extractors).
+	Overhead time.Duration
+
+	clk clock.Clock
+	lib *extractors.Library
+	sem chan struct{}
+
+	Processed metrics.Counter
+	Failed    metrics.Counter
+	ParseTime metrics.Histogram
+}
+
+// NewServer returns a Tika server with the given thread pool size.
+func NewServer(threads int, overhead time.Duration, clk clock.Clock) *Server {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Server{
+		Threads:  threads,
+		Overhead: overhead,
+		clk:      clk,
+		lib:      extractors.DefaultLibrary(),
+		sem:      make(chan struct{}, threads),
+	}
+}
+
+// Detect performs Tika-style MIME detection: content magic first, then
+// extension. Note text/plain is returned for all unrecognized text —
+// including CSV content in a .txt file — which is exactly the ambiguity
+// the paper criticizes.
+func Detect(name string, data []byte) string {
+	switch {
+	case bytes.HasPrefix(data, []byte{0x89, 'P', 'N', 'G'}):
+		return store.MimePNG
+	case bytes.HasPrefix(data, []byte{0xFF, 0xD8, 0xFF}):
+		return store.MimeJPEG
+	case bytes.HasPrefix(data, []byte("PK\x03\x04")):
+		return store.MimeZip
+	case bytes.HasPrefix(data, []byte("XHD1")):
+		return store.MimeHDF
+	case bytes.HasPrefix(bytes.TrimSpace(data), []byte("{")),
+		bytes.HasPrefix(bytes.TrimSpace(data), []byte("[")):
+		return store.MimeJSON
+	case bytes.HasPrefix(bytes.TrimSpace(data), []byte("<")):
+		return store.MimeXML
+	}
+	switch store.ExtensionOf(name) {
+	case "csv", "tsv":
+		return store.MimeCSV
+	case "pdf":
+		return store.MimePDF
+	default:
+		return store.MimeText
+	}
+}
+
+// parserFor maps a detected MIME type to exactly one parser.
+func (s *Server) parserFor(mime string) (extractors.Extractor, error) {
+	var name string
+	switch mime {
+	case store.MimePNG, store.MimeJPEG:
+		name = "images"
+	case store.MimeZip:
+		name = "compressed"
+	case store.MimeHDF:
+		name = "hierarchical"
+	case store.MimeJSON, store.MimeXML:
+		name = "semistructured"
+	case store.MimeCSV:
+		name = "tabular"
+	default:
+		name = "keyword" // the generic text parser
+	}
+	return s.lib.Get(name)
+}
+
+// Result is one parsed document.
+type Result struct {
+	Name     string                 `json:"name"`
+	Mime     string                 `json:"mime"`
+	Parser   string                 `json:"parser"`
+	Metadata map[string]interface{} `json:"metadata,omitempty"`
+	Err      string                 `json:"err,omitempty"`
+}
+
+// Parse detects the file type and applies the single best parser, the
+// way the paper configures Tika ("automatically detect file type and
+// execute the 'best' parser from its default library").
+func (s *Server) Parse(name string, data []byte) Result {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.clk.Sleep(s.Overhead)
+	start := s.clk.Now()
+	defer func() { s.ParseTime.ObserveDuration(s.clk.Since(start)) }()
+
+	mime := Detect(name, data)
+	parser, err := s.parserFor(mime)
+	if err != nil {
+		s.Failed.Inc()
+		return Result{Name: name, Mime: mime, Err: err.Error()}
+	}
+	g := &family.Group{ID: name, Files: []string{name}}
+	md, err := parser.Extract(g, map[string][]byte{name: data})
+	if err != nil {
+		s.Failed.Inc()
+		return Result{Name: name, Mime: mime, Parser: parser.Name(), Err: err.Error()}
+	}
+	// Tika has no dynamic planning: suggestions are discarded.
+	delete(md, extractors.SuggestKey)
+	s.Processed.Inc()
+	return Result{Name: name, Mime: mime, Parser: parser.Name(), Metadata: md}
+}
+
+// ParseAll pushes a set of files through the server concurrently (one
+// request per file, as the paper drives Tika) and returns results in
+// input order.
+func (s *Server) ParseAll(names []string, read func(string) ([]byte, error)) []Result {
+	out := make([]Result, len(names))
+	done := make(chan int, len(names))
+	for i, name := range names {
+		go func(i int, name string) {
+			data, err := read(name)
+			if err != nil {
+				s.Failed.Inc()
+				out[i] = Result{Name: name, Err: err.Error()}
+			} else {
+				out[i] = s.Parse(name, data)
+			}
+			done <- i
+		}(i, name)
+	}
+	for range names {
+		<-done
+	}
+	return out
+}
+
+// ExtensionsCovered reports how many of the repository's distinct
+// extensions the detector maps beyond text/plain — a rough parity metric
+// with Tika's "thousands of formats" claim, scoped to this corpus.
+func ExtensionsCovered(names []string) (covered, total int) {
+	seen := make(map[string]bool)
+	for _, n := range names {
+		ext := store.ExtensionOf(n)
+		if seen[ext] {
+			continue
+		}
+		seen[ext] = true
+		total++
+		if !strings.EqualFold(Detect(n, nil), store.MimeText) {
+			covered++
+		}
+	}
+	return covered, total
+}

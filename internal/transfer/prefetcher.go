@@ -1,0 +1,196 @@
+package transfer
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/metrics"
+	"xtract/internal/queue"
+)
+
+// PrefetchTask asks the prefetcher to stage a family's files from one
+// endpoint onto another before extraction. The Xtract service enqueues
+// these when a family's files are not local to their planned compute site.
+type PrefetchTask struct {
+	FamilyID string     `json:"family_id"`
+	Src      string     `json:"src"`
+	Dst      string     `json:"dst"`
+	Pairs    []FilePair `json:"pairs"`
+}
+
+// PrefetchResult reports a completed (or failed) staging operation back to
+// the Xtract service's ready queue.
+type PrefetchResult struct {
+	FamilyID string        `json:"family_id"`
+	Src      string        `json:"src"`
+	Dst      string        `json:"dst"`
+	OK       bool          `json:"ok"`
+	Err      string        `json:"err,omitempty"`
+	Bytes    int64         `json:"bytes"`
+	Elapsed  time.Duration `json:"elapsed"`
+}
+
+// Prefetcher is the microservice that drains a queue of staging tasks,
+// batches same-route tasks into single fabric jobs, polls them to
+// completion, and reports results on the done queue.
+type Prefetcher struct {
+	fabric *Fabric
+	in     *queue.Queue
+	out    *queue.Queue
+	clk    clock.Clock
+
+	// BatchWindow bounds how many queued tasks are folded into one
+	// fabric job per route (amortizing per-job RTT).
+	BatchWindow int
+	// PollInterval is how often job status is polled.
+	PollInterval time.Duration
+	// Visibility is the queue visibility timeout while a task is staged.
+	Visibility time.Duration
+
+	TasksDone   metrics.Counter
+	TasksFailed metrics.Counter
+	BytesMoved  metrics.Counter
+
+	wg sync.WaitGroup
+}
+
+// NewPrefetcher wires a prefetcher to its fabric and queues.
+func NewPrefetcher(fabric *Fabric, in, out *queue.Queue, clk clock.Clock) *Prefetcher {
+	return &Prefetcher{
+		fabric:       fabric,
+		in:           in,
+		out:          out,
+		clk:          clk,
+		BatchWindow:  32,
+		PollInterval: 20 * time.Millisecond,
+		Visibility:   5 * time.Minute,
+	}
+}
+
+// Run drains the input queue until ctx is cancelled, processing tasks with
+// the given number of concurrent route workers.
+func (p *Prefetcher) Run(ctx context.Context, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.worker(ctx)
+		}()
+	}
+	p.wg.Wait()
+}
+
+func (p *Prefetcher) worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		msgs := p.in.Receive(p.BatchWindow, p.Visibility)
+		if len(msgs) == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-p.clk.After(p.PollInterval):
+			}
+			continue
+		}
+		p.processBatch(msgs)
+	}
+}
+
+// processBatch groups received tasks by route and runs one fabric job per
+// route, then reports results and acks.
+func (p *Prefetcher) processBatch(msgs []queue.Message) {
+	type routed struct {
+		tasks    []PrefetchTask
+		receipts []string
+	}
+	routes := make(map[[2]string]*routed)
+	for _, m := range msgs {
+		var t PrefetchTask
+		if err := json.Unmarshal(m.Body, &t); err != nil {
+			// Poison message: drop it.
+			_ = p.in.Delete(m.Receipt)
+			continue
+		}
+		key := [2]string{t.Src, t.Dst}
+		r, ok := routes[key]
+		if !ok {
+			r = &routed{}
+			routes[key] = r
+		}
+		r.tasks = append(r.tasks, t)
+		r.receipts = append(r.receipts, m.Receipt)
+	}
+	for key, r := range routes {
+		p.runRoute(key[0], key[1], r.tasks, r.receipts)
+	}
+}
+
+func (p *Prefetcher) runRoute(src, dst string, tasks []PrefetchTask, receipts []string) {
+	var pairs []FilePair
+	for _, t := range tasks {
+		pairs = append(pairs, t.Pairs...)
+	}
+	start := p.clk.Now()
+	var info JobInfo
+	jobID, err := p.fabric.Submit(src, dst, pairs)
+	if err == nil {
+		info, err = p.waitPolling(jobID)
+	}
+	elapsed := p.clk.Since(start)
+	perTaskBytes := int64(0)
+	if err == nil && len(tasks) > 0 {
+		perTaskBytes = info.BytesTransferred / int64(len(tasks))
+	}
+	for i, t := range tasks {
+		res := PrefetchResult{
+			FamilyID: t.FamilyID,
+			Src:      src,
+			Dst:      dst,
+			OK:       err == nil && info.Status == StatusSucceeded,
+			Bytes:    perTaskBytes,
+			Elapsed:  elapsed,
+		}
+		if err != nil {
+			res.Err = err.Error()
+		} else if info.Status == StatusFailed {
+			res.OK = false
+			res.Err = info.Err
+		}
+		if res.OK {
+			p.TasksDone.Inc()
+		} else {
+			p.TasksFailed.Inc()
+		}
+		body, _ := json.Marshal(res)
+		p.out.Send(body)
+		_ = p.in.Delete(receipts[i])
+	}
+	if err == nil {
+		p.BytesMoved.Add(info.BytesTransferred)
+	}
+}
+
+// waitPolling polls job status at PollInterval until terminal, mirroring
+// the paper's "polls each transfer task until it is completed".
+func (p *Prefetcher) waitPolling(jobID string) (JobInfo, error) {
+	for {
+		info, err := p.fabric.Status(jobID)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if info.Status == StatusSucceeded || info.Status == StatusFailed {
+			return info, nil
+		}
+		p.clk.Sleep(p.PollInterval)
+	}
+}

@@ -1,0 +1,329 @@
+// Package transfer implements Xtract's data fabric: the Globus-like
+// third-party batch transfer service that moves files between storage
+// endpoints, the HTTPS-style direct fetch path, and the prefetcher
+// microservice that orchestrates required moves ahead of extraction.
+//
+// Endpoints pair a storage system with a network location; links between
+// endpoints carry a bandwidth, a round-trip latency, and a per-file
+// overhead. Concurrent jobs on a link share its bandwidth (payload time is
+// serialized per link), which reproduces the paper's observation that
+// aggregate transfer rate, not job count, bounds throughput (Figure 6).
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/store"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrNoEndpoint = errors.New("transfer: unknown endpoint")
+	ErrNoLink     = errors.New("transfer: no link between endpoints")
+	ErrNoJob      = errors.New("transfer: unknown job")
+)
+
+// Link models the network path between two endpoints.
+type Link struct {
+	// BytesPerSec is the sustained data rate; <= 0 means infinite.
+	BytesPerSec float64
+	// RTT is charged once per job for control traffic.
+	RTT time.Duration
+	// PerFileOverhead is charged per file (checksumming, small-file setup);
+	// this is what makes many-small-file transfers slow on Globus.
+	PerFileOverhead time.Duration
+}
+
+// payloadTime returns the bandwidth-limited time for n bytes.
+func (l Link) payloadTime(n int64) time.Duration {
+	if l.BytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.BytesPerSec * float64(time.Second))
+}
+
+// Endpoint is a named storage location attached to the fabric.
+type Endpoint struct {
+	ID    string
+	Store store.Store
+}
+
+// FilePair names one file movement within a job.
+type FilePair struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// Status is the lifecycle state of a transfer job.
+type Status int
+
+// Job states, in order.
+const (
+	StatusPending Status = iota
+	StatusActive
+	StatusSucceeded
+	StatusFailed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "PENDING"
+	case StatusActive:
+		return "ACTIVE"
+	case StatusSucceeded:
+		return "SUCCEEDED"
+	case StatusFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// JobInfo is a snapshot of a transfer job's progress.
+type JobInfo struct {
+	ID               string
+	Src, Dst         string
+	Status           Status
+	FilesTotal       int
+	FilesDone        int
+	BytesTransferred int64
+	Elapsed          time.Duration
+	Err              string
+}
+
+type job struct {
+	id       string
+	src, dst string
+	pairs    []FilePair
+
+	mu       sync.Mutex
+	status   Status
+	done     int
+	bytes    int64
+	err      error
+	started  time.Time
+	finished time.Time
+	doneCh   chan struct{}
+}
+
+// Fabric is the transfer service: a registry of endpoints and links plus
+// an asynchronous batch-transfer executor.
+type Fabric struct {
+	clk clock.Clock
+
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	links     map[[2]string]*linkState
+	jobs      map[string]*job
+	seq       int
+}
+
+type linkState struct {
+	link Link
+	// payloadMu serializes payload time on the link so concurrent jobs
+	// share bandwidth instead of each enjoying the full rate.
+	payloadMu sync.Mutex
+}
+
+// NewFabric returns an empty fabric using clk for transfer timing.
+func NewFabric(clk clock.Clock) *Fabric {
+	return &Fabric{
+		clk:       clk,
+		endpoints: make(map[string]*Endpoint),
+		links:     make(map[[2]string]*linkState),
+		jobs:      make(map[string]*job),
+	}
+}
+
+// AddEndpoint registers a storage endpoint under id.
+func (f *Fabric) AddEndpoint(id string, s store.Store) *Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep := &Endpoint{ID: id, Store: s}
+	f.endpoints[id] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint registered under id.
+func (f *Fabric) Endpoint(id string) (*Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.endpoints[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, id)
+	}
+	return ep, nil
+}
+
+// SetLink installs the directed link src→dst.
+func (f *Fabric) SetLink(src, dst string, link Link) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[[2]string{src, dst}] = &linkState{link: link}
+}
+
+// linkFor returns the directed link, falling back to a zero-cost link if
+// none is configured between known endpoints.
+func (f *Fabric) linkFor(src, dst string) *linkState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ls, ok := f.links[[2]string{src, dst}]; ok {
+		return ls
+	}
+	// Default: free intra-fabric movement. Register so that all jobs on
+	// the same pair share one state.
+	ls := &linkState{}
+	f.links[[2]string{src, dst}] = ls
+	return ls
+}
+
+// Submit starts an asynchronous batch transfer of pairs from endpoint src
+// to endpoint dst and returns the job ID.
+func (f *Fabric) Submit(src, dst string, pairs []FilePair) (string, error) {
+	srcEP, err := f.Endpoint(src)
+	if err != nil {
+		return "", err
+	}
+	dstEP, err := f.Endpoint(dst)
+	if err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.seq++
+	j := &job{
+		id:     fmt.Sprintf("xfer-%d", f.seq),
+		src:    src,
+		dst:    dst,
+		pairs:  append([]FilePair(nil), pairs...),
+		doneCh: make(chan struct{}),
+	}
+	f.jobs[j.id] = j
+	f.mu.Unlock()
+
+	go f.run(j, srcEP, dstEP)
+	return j.id, nil
+}
+
+// run executes a job: RTT once, then per file overhead + payload.
+func (f *Fabric) run(j *job, srcEP, dstEP *Endpoint) {
+	ls := f.linkFor(j.src, j.dst)
+	j.mu.Lock()
+	j.status = StatusActive
+	j.started = f.clk.Now()
+	j.mu.Unlock()
+
+	fail := func(err error) {
+		j.mu.Lock()
+		j.status = StatusFailed
+		j.err = err
+		j.finished = f.clk.Now()
+		j.mu.Unlock()
+		close(j.doneCh)
+	}
+
+	f.clk.Sleep(ls.link.RTT)
+	for _, p := range j.pairs {
+		data, err := srcEP.Store.Read(p.Src)
+		if err != nil {
+			fail(fmt.Errorf("read %s:%s: %w", j.src, p.Src, err))
+			return
+		}
+		f.clk.Sleep(ls.link.PerFileOverhead)
+		// Serialize payload time on the link: concurrent jobs share rate.
+		ls.payloadMu.Lock()
+		f.clk.Sleep(ls.link.payloadTime(int64(len(data))))
+		ls.payloadMu.Unlock()
+		if err := dstEP.Store.Write(p.Dst, data); err != nil {
+			fail(fmt.Errorf("write %s:%s: %w", j.dst, p.Dst, err))
+			return
+		}
+		j.mu.Lock()
+		j.done++
+		j.bytes += int64(len(data))
+		j.mu.Unlock()
+	}
+	j.mu.Lock()
+	j.status = StatusSucceeded
+	j.finished = f.clk.Now()
+	j.mu.Unlock()
+	close(j.doneCh)
+}
+
+func (f *Fabric) jobByID(id string) (*job, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoJob, id)
+	}
+	return j, nil
+}
+
+// Status reports a snapshot of the job. This is the polling interface the
+// prefetcher uses, mirroring Globus task polling.
+func (f *Fabric) Status(id string) (JobInfo, error) {
+	j, err := f.jobByID(id)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:               j.id,
+		Src:              j.src,
+		Dst:              j.dst,
+		Status:           j.status,
+		FilesTotal:       len(j.pairs),
+		FilesDone:        j.done,
+		BytesTransferred: j.bytes,
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = f.clk.Now()
+		}
+		info.Elapsed = end.Sub(j.started)
+	}
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	return info, nil
+}
+
+// Wait blocks until the job completes and returns its final state.
+func (f *Fabric) Wait(id string) (JobInfo, error) {
+	j, err := f.jobByID(id)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	<-j.doneCh
+	return f.Status(id)
+}
+
+// Fetch performs a direct per-file download from an endpoint (the Globus
+// HTTPS / Google Drive API path used when a compute site must pull a file
+// that is not on a shared file system).
+func (f *Fabric) Fetch(src, path string) ([]byte, error) {
+	srcEP, err := f.Endpoint(src)
+	if err != nil {
+		return nil, err
+	}
+	return srcEP.Store.Read(path)
+}
+
+// Endpoints lists registered endpoint IDs.
+func (f *Fabric) Endpoints() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.endpoints))
+	for id := range f.endpoints {
+		out = append(out, id)
+	}
+	return out
+}

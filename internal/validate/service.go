@@ -1,0 +1,119 @@
+package validate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/metrics"
+	"xtract/internal/queue"
+	"xtract/internal/store"
+)
+
+// Service is the asynchronous validation microservice: it drains the
+// result queue, validates/transforms each record, and writes the final
+// JSON document to the user's destination endpoint under DestPrefix.
+type Service struct {
+	Validator Validator
+	In        *queue.Queue
+	Dest      store.Store
+	// DestPrefix is the destination directory for validated documents.
+	DestPrefix string
+	// PollInterval is the idle backoff between empty receives.
+	PollInterval time.Duration
+	// Visibility is the queue visibility timeout during validation.
+	Visibility time.Duration
+
+	clk clock.Clock
+
+	Validated metrics.Counter
+	Rejected  metrics.Counter
+}
+
+// NewService wires a validation service.
+func NewService(v Validator, in *queue.Queue, dest store.Store, clk clock.Clock) *Service {
+	return &Service{
+		Validator:    v,
+		In:           in,
+		Dest:         dest,
+		DestPrefix:   "/metadata",
+		PollInterval: 10 * time.Millisecond,
+		Visibility:   time.Minute,
+		clk:          clk,
+	}
+}
+
+// Run drains the queue until ctx is cancelled.
+func (s *Service) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		msgs := s.In.Receive(16, s.Visibility)
+		if len(msgs) == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.clk.After(s.PollInterval):
+			}
+			continue
+		}
+		for _, m := range msgs {
+			s.process(m.Body)
+			_ = s.In.Delete(m.Receipt)
+		}
+	}
+}
+
+// Drain synchronously validates everything currently visible on the
+// queue. Useful at job completion and in tests.
+func (s *Service) Drain() {
+	for {
+		msgs := s.In.Receive(64, s.Visibility)
+		if len(msgs) == 0 {
+			return
+		}
+		for _, m := range msgs {
+			s.process(m.Body)
+			_ = s.In.Delete(m.Receipt)
+		}
+	}
+}
+
+func (s *Service) process(body []byte) {
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		s.Rejected.Inc()
+		return
+	}
+	doc, err := s.Validator.Validate(rec)
+	if err != nil {
+		s.Rejected.Inc()
+		return
+	}
+	path := fmt.Sprintf("%s/%s.json", s.DestPrefix, sanitize(rec.FamilyID))
+	if err := s.Dest.Write(path, doc); err != nil {
+		s.Rejected.Inc()
+		return
+	}
+	s.Validated.Inc()
+}
+
+// sanitize maps a family ID to a safe file name.
+func sanitize(id string) string {
+	out := make([]rune, 0, len(id))
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

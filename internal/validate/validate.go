@@ -1,0 +1,173 @@
+// Package validate implements Xtract's validation and transformation
+// service: the asynchronous microservice that checks extracted metadata
+// records against a user-selected schema, optionally transforms them, and
+// ships valid JSON documents to the user's destination endpoint for
+// post-processing (e.g., ingestion into a search index).
+package validate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Record is the raw metadata produced for one family, as handed to the
+// validation service by the Xtract service.
+type Record struct {
+	JobID    string   `json:"job_id"`
+	FamilyID string   `json:"family_id"`
+	Store    string   `json:"store"`
+	BasePath string   `json:"base_path"`
+	Files    []string `json:"files"`
+	// Metadata maps "groupID/extractor" to that step's extracted
+	// metadata dictionary.
+	Metadata map[string]map[string]interface{} `json:"metadata"`
+	// Extracted lists the extractors that ran, with timings.
+	Extracted []StepResult `json:"extracted"`
+}
+
+// StepResult records one extractor application.
+type StepResult struct {
+	GroupID   string        `json:"group_id"`
+	Extractor string        `json:"extractor"`
+	OK        bool          `json:"ok"`
+	Err       string        `json:"err,omitempty"`
+	Duration  time.Duration `json:"duration"`
+}
+
+// ErrInvalid is wrapped by all validation failures.
+var ErrInvalid = errors.New("validate: record invalid")
+
+// Validator checks and transforms a Record into a final JSON document.
+type Validator interface {
+	// Name identifies the validator.
+	Name() string
+	// Validate returns the transformed document or an error wrapping
+	// ErrInvalid.
+	Validate(rec Record) ([]byte, error)
+}
+
+// Passthrough converts the metadata dictionary into valid JSON with a
+// minimal envelope — the paper's 'passthrough' validator.
+type Passthrough struct{}
+
+// Name implements Validator.
+func (Passthrough) Name() string { return "passthrough" }
+
+// Validate implements Validator.
+func (Passthrough) Validate(rec Record) ([]byte, error) {
+	if rec.FamilyID == "" {
+		return nil, fmt.Errorf("%w: missing family_id", ErrInvalid)
+	}
+	doc := map[string]interface{}{
+		"schema":   "passthrough/v1",
+		"family":   rec.FamilyID,
+		"store":    rec.Store,
+		"path":     rec.BasePath,
+		"files":    rec.Files,
+		"metadata": rec.Metadata,
+	}
+	return json.Marshal(doc)
+}
+
+// MDFSchema describes one of the MDF target schemas: required metadata
+// blocks and the document type they map to.
+type MDFSchema struct {
+	Name string
+	// AnyOfBlocks: at least one extracted metadata dictionary must
+	// contain one of these keys for the schema to apply.
+	AnyOfBlocks []string
+}
+
+// DefaultMDFSchemas returns the 12 schema variants of the MDF validator.
+func DefaultMDFSchemas() []MDFSchema {
+	return []MDFSchema{
+		{Name: "mdf.material", AnyOfBlocks: []string{"structure", "crystal", "composition"}},
+		{Name: "mdf.dft", AnyOfBlocks: []string{"results", "dft"}},
+		{Name: "mdf.geometry", AnyOfBlocks: []string{"geometry", "rdf"}},
+		{Name: "mdf.image", AnyOfBlocks: []string{"images", "classes"}},
+		{Name: "mdf.tabular", AnyOfBlocks: []string{"columns", "tables"}},
+		{Name: "mdf.nulls", AnyOfBlocks: []string{"null_cells"}},
+		{Name: "mdf.text", AnyOfBlocks: []string{"keywords"}},
+		{Name: "mdf.entity", AnyOfBlocks: []string{"entities"}},
+		{Name: "mdf.hierarchy", AnyOfBlocks: []string{"datasets", "groups"}},
+		{Name: "mdf.code", AnyOfBlocks: []string{"functions", "imports"}},
+		{Name: "mdf.archive", AnyOfBlocks: []string{"entries", "archives"}},
+		{Name: "mdf.generic", AnyOfBlocks: nil}, // catch-all
+	}
+}
+
+// MDF adapts extracted metadata to the MDF schema family: every record is
+// typed by the first schema whose block requirement its metadata meets,
+// and rendered as an MDF-style document.
+type MDF struct {
+	Schemas []MDFSchema
+	// SourceName labels the originating repository.
+	SourceName string
+}
+
+// NewMDF returns an MDF validator with the default 12 schemas.
+func NewMDF(sourceName string) *MDF {
+	return &MDF{Schemas: DefaultMDFSchemas(), SourceName: sourceName}
+}
+
+// Name implements Validator.
+func (m *MDF) Name() string { return "mdf" }
+
+// classify finds the first schema matched by the record's metadata.
+func (m *MDF) classify(rec Record) (MDFSchema, error) {
+	for _, schema := range m.Schemas {
+		if len(schema.AnyOfBlocks) == 0 {
+			return schema, nil
+		}
+		for _, md := range rec.Metadata {
+			for _, block := range schema.AnyOfBlocks {
+				if _, ok := md[block]; ok {
+					return schema, nil
+				}
+			}
+		}
+	}
+	return MDFSchema{}, fmt.Errorf("%w: no MDF schema matches", ErrInvalid)
+}
+
+// Validate implements Validator.
+func (m *MDF) Validate(rec Record) ([]byte, error) {
+	if rec.FamilyID == "" {
+		return nil, fmt.Errorf("%w: missing family_id", ErrInvalid)
+	}
+	if len(rec.Metadata) == 0 {
+		return nil, fmt.Errorf("%w: no extracted metadata", ErrInvalid)
+	}
+	schema, err := m.classify(rec)
+	if err != nil {
+		return nil, err
+	}
+	extractorsRan := make(map[string]bool)
+	for key := range rec.Metadata {
+		if i := strings.LastIndex(key, "/"); i >= 0 {
+			extractorsRan[key[i+1:]] = true
+		}
+	}
+	ranList := make([]string, 0, len(extractorsRan))
+	for e := range extractorsRan {
+		ranList = append(ranList, e)
+	}
+	sort.Strings(ranList)
+	doc := map[string]interface{}{
+		"mdf": map[string]interface{}{
+			"source_name":   m.SourceName,
+			"resource_type": "record",
+			"schema":        schema.Name,
+			"scroll_id":     rec.FamilyID,
+		},
+		"files":      rec.Files,
+		"origin":     map[string]string{"store": rec.Store, "path": rec.BasePath},
+		"extractors": ranList,
+		"metadata":   rec.Metadata,
+	}
+	return json.Marshal(doc)
+}

@@ -1,0 +1,184 @@
+package validate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/queue"
+	"xtract/internal/store"
+)
+
+func sampleRecord() Record {
+	return Record{
+		JobID:    "job-1",
+		FamilyID: "mdf:/data/exp1#0",
+		Store:    "petrel",
+		BasePath: "/data/exp1",
+		Files:    []string{"/data/exp1/POSCAR", "/data/exp1/OUTCAR"},
+		Metadata: map[string]map[string]interface{}{
+			"g1/matio": {
+				"structure": map[string]interface{}{"n_atoms": 8},
+				"results":   map[string]interface{}{"final_energy_ev": -43.4},
+			},
+		},
+	}
+}
+
+func TestPassthroughValidate(t *testing.T) {
+	doc, err := (Passthrough{}).Validate(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(doc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["schema"] != "passthrough/v1" || out["family"] != "mdf:/data/exp1#0" {
+		t.Fatalf("doc = %v", out)
+	}
+}
+
+func TestPassthroughRejectsEmptyFamily(t *testing.T) {
+	if _, err := (Passthrough{}).Validate(Record{}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMDFClassifiesMaterial(t *testing.T) {
+	m := NewMDF("mdf-subset")
+	doc, err := m.Validate(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	_ = json.Unmarshal(doc, &out)
+	mdf := out["mdf"].(map[string]interface{})
+	if mdf["schema"] != "mdf.material" {
+		t.Fatalf("schema = %v", mdf["schema"])
+	}
+	if mdf["source_name"] != "mdf-subset" {
+		t.Fatalf("source = %v", mdf["source_name"])
+	}
+	exts := out["extractors"].([]interface{})
+	if len(exts) != 1 || exts[0] != "matio" {
+		t.Fatalf("extractors = %v", exts)
+	}
+}
+
+func TestMDFSchemaSelection(t *testing.T) {
+	m := NewMDF("x")
+	cases := []struct {
+		block string
+		want  string
+	}{
+		{"keywords", "mdf.text"},
+		{"columns", "mdf.tabular"},
+		{"images", "mdf.image"},
+		{"entities", "mdf.entity"},
+		{"datasets", "mdf.hierarchy"},
+		{"functions", "mdf.code"},
+		{"entries", "mdf.archive"},
+		{"unrecognized_block", "mdf.generic"},
+	}
+	for _, c := range cases {
+		rec := sampleRecord()
+		rec.Metadata = map[string]map[string]interface{}{
+			"g/e": {c.block: 1},
+		}
+		doc, err := m.Validate(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.block, err)
+		}
+		if !strings.Contains(string(doc), c.want) {
+			t.Errorf("block %s → doc lacks schema %s", c.block, c.want)
+		}
+	}
+}
+
+func TestMDFRejects(t *testing.T) {
+	m := NewMDF("x")
+	if _, err := m.Validate(Record{FamilyID: "f"}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("no-metadata err = %v", err)
+	}
+	if _, err := m.Validate(Record{Metadata: map[string]map[string]interface{}{"g/e": {"k": 1}}}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("no-family err = %v", err)
+	}
+}
+
+func TestDefaultMDFSchemasCount(t *testing.T) {
+	if got := len(DefaultMDFSchemas()); got != 12 {
+		t.Fatalf("schemas = %d, want 12", got)
+	}
+}
+
+func TestServiceValidatesToDestination(t *testing.T) {
+	clk := clock.NewReal()
+	in := queue.New("results", clk)
+	dest := store.NewMemFS("user-endpoint", nil)
+	s := NewService(Passthrough{}, in, dest, clk)
+
+	body, _ := json.Marshal(sampleRecord())
+	in.Send(body)
+	in.Send([]byte("corrupt"))
+	s.Drain()
+
+	if s.Validated.Value() != 1 || s.Rejected.Value() != 1 {
+		t.Fatalf("validated/rejected = %d/%d", s.Validated.Value(), s.Rejected.Value())
+	}
+	infos, err := dest.List("/metadata")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("dest listing = %v, %v", infos, err)
+	}
+	data, _ := dest.Read(infos[0].Path)
+	var out map[string]interface{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+func TestServiceRunLoop(t *testing.T) {
+	clk := clock.NewReal()
+	in := queue.New("results", clk)
+	dest := store.NewMemFS("user-endpoint", nil)
+	s := NewService(Passthrough{}, in, dest, clk)
+	s.PollInterval = time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.Run(ctx)
+	body, _ := json.Marshal(sampleRecord())
+	in.Send(body)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Validated.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("record never validated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+}
+
+func TestServiceRejectsInvalidRecord(t *testing.T) {
+	clk := clock.NewReal()
+	in := queue.New("results", clk)
+	dest := store.NewMemFS("user-endpoint", nil)
+	s := NewService(NewMDF("x"), in, dest, clk)
+	body, _ := json.Marshal(Record{FamilyID: "f"}) // no metadata
+	in.Send(body)
+	s.Drain()
+	if s.Rejected.Value() != 1 {
+		t.Fatalf("rejected = %d", s.Rejected.Value())
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("mdf:/data/exp1#0"); strings.ContainsAny(got, ":/#") {
+		t.Fatalf("sanitize = %q", got)
+	}
+	if got := sanitize("safe-name_1.2"); got != "safe-name_1.2" {
+		t.Fatalf("sanitize mangled safe name: %q", got)
+	}
+}
