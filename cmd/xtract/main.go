@@ -164,8 +164,11 @@ func runServe(args []string) error {
 	}
 	defer d.Close()
 	srv := api.NewServer(d.Service, d.Registry, d.Library, nil)
+	srv.SetObserver(d.Obs)
+	srv.SetBaseContext(d.Ctx)
 	srv.EnableSearch(index.New(), d.Dest, "/metadata")
 	fmt.Printf("xtract service listening on %s (site 'local' → %s)\n", *addr, *root)
+	fmt.Printf("metrics exposed at %s/metrics\n", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
 }
 

@@ -1,21 +1,42 @@
 // Package api exposes the Xtract service over HTTP as a REST API, the
 // interaction surface of the paper's microservice architecture, plus the
 // request/response types shared with the client SDK.
+//
+// The v1 surface:
+//
+//	POST   /api/v1/jobs            submit an extraction job
+//	GET    /api/v1/jobs            list jobs (state=, limit=, offset=)
+//	GET    /api/v1/jobs/{id}       poll one job
+//	GET    /api/v1/jobs/{id}/events  per-job event trace
+//	DELETE /api/v1/jobs/{id}       cancel a running job
+//	GET    /api/v1/sites           registered sites
+//	GET    /api/v1/extractors      registered extractors
+//	GET    /api/v1/search          metadata search
+//	POST   /api/v1/index/refresh   re-ingest validated metadata
+//	GET    /metrics                Prometheus text exposition (no auth)
+//
+// Errors use a structured envelope {"error": {"code", "message"}}; the
+// top-level "message" string mirrors error.message for clients of the
+// previous bare-string envelope and will be removed next version.
 package api
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xtract/internal/auth"
 	"xtract/internal/core"
 	"xtract/internal/crawler"
 	"xtract/internal/extractors"
 	"xtract/internal/index"
+	"xtract/internal/obs"
 	"xtract/internal/registry"
 	"xtract/internal/store"
 )
@@ -41,6 +62,8 @@ type JobResponse struct {
 }
 
 // JobStatus reports job progress and, when complete, final statistics.
+// Stats may be nil for old completed jobs whose statistics have been
+// evicted from the bounded result cache; the registry record remains.
 type JobStatus struct {
 	JobID    string             `json:"job_id"`
 	State    string             `json:"state"`
@@ -50,6 +73,37 @@ type JobStatus struct {
 	Complete bool               `json:"complete"`
 	Stats    *core.JobStats     `json:"stats,omitempty"`
 	Record   registry.JobRecord `json:"record"`
+}
+
+// JobSummary is one row of the job listing.
+type JobSummary struct {
+	JobID         string    `json:"job_id"`
+	State         string    `json:"state"`
+	Submitted     time.Time `json:"submitted"`
+	Repositories  []string  `json:"repositories,omitempty"`
+	GroupsCrawled int64     `json:"groups_crawled"`
+	GroupsDone    int64     `json:"groups_done"`
+}
+
+// JobListResponse answers GET /api/v1/jobs. Total counts every job that
+// matched the state filter, before pagination.
+type JobListResponse struct {
+	Jobs  []JobSummary `json:"jobs"`
+	Total int          `json:"total"`
+}
+
+// JobEventsResponse is a job's event trace. Dropped counts events
+// overwritten by the bounded ring buffer.
+type JobEventsResponse struct {
+	JobID   string      `json:"job_id"`
+	Events  []obs.Event `json:"events"`
+	Dropped int64       `json:"dropped"`
+}
+
+// CancelResponse acknowledges a cancellation request.
+type CancelResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
 }
 
 // SitesResponse lists registered sites.
@@ -81,19 +135,108 @@ type RefreshResponse struct {
 	Terms    int `json:"terms"`
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
+// Machine-readable error codes carried in the error envelope.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeUnauthorized   = "unauthorized"
+	CodeNotFound       = "not_found"
+	CodeNotImplemented = "not_implemented"
+	CodeInternal       = "internal_error"
+	CodeJobNotRunning  = "job_not_running"
+	CodeUnknownSite    = "unknown_site"
+	CodeUnknownGrouper = "unknown_grouper"
+)
+
+// ErrorInfo is the structured error payload.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
+
+// errorBody is the JSON error envelope. Message mirrors Error.Message
+// for clients of the previous bare-string envelope; it is deprecated and
+// will be dropped next version.
+type errorBody struct {
+	Error   ErrorInfo `json:"error"`
+	Message string    `json:"message"`
+}
+
+// completedCache is the bounded (LRU + TTL) store of finished-job
+// results, replacing the previous unbounded map: a long-lived server
+// keeps registry records for every job but evicts bulky JobStats.
+type completedCache struct {
+	max     int
+	ttl     time.Duration
+	now     func() time.Time
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	id    string
+	res   jobResult
+	added time.Time
+}
+
+func newCompletedCache(max int, ttl time.Duration) *completedCache {
+	return &completedCache{
+		max:     max,
+		ttl:     ttl,
+		now:     time.Now,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// put inserts or refreshes an entry, evicting the least recently used
+// entries beyond the size bound.
+func (c *completedCache) put(id string, res jobResult) {
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).added = c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[id] = c.order.PushFront(&cacheEntry{id: id, res: res, added: c.now()})
+	for c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).id)
+	}
+}
+
+// get returns the cached result, expiring it when older than the TTL.
+func (c *completedCache) get(id string) (jobResult, bool) {
+	el, ok := c.entries[id]
+	if !ok {
+		return jobResult{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(ent.added) > c.ttl {
+		c.order.Remove(el)
+		delete(c.entries, id)
+		return jobResult{}, false
+	}
+	c.order.MoveToFront(el)
+	return ent.res, true
+}
+
+func (c *completedCache) len() int { return c.order.Len() }
 
 // Server is the HTTP front end over a core.Service.
 type Server struct {
-	svc     *core.Service
-	reg     *registry.Registry
-	lib     *extractors.Library
-	issuer  *auth.Issuer // nil disables auth
-	mu      sync.Mutex
-	results map[string]*jobResult
+	svc    *core.Service
+	reg    *registry.Registry
+	lib    *extractors.Library
+	issuer *auth.Issuer // nil disables auth
+
+	obs     *obs.Observer
+	obsHTTP *obs.CounterVec
+	baseCtx context.Context
+
+	mu        sync.Mutex
+	running   map[string]context.CancelFunc
+	completed *completedCache
 
 	// search integration (optional, via EnableSearch)
 	idx        *index.Index
@@ -102,7 +245,6 @@ type Server struct {
 }
 
 type jobResult struct {
-	done  bool
 	stats core.JobStats
 	err   error
 }
@@ -110,12 +252,43 @@ type jobResult struct {
 // NewServer wires the REST API. issuer may be nil to disable auth.
 func NewServer(svc *core.Service, reg *registry.Registry, lib *extractors.Library, issuer *auth.Issuer) *Server {
 	return &Server{
-		svc:     svc,
-		reg:     reg,
-		lib:     lib,
-		issuer:  issuer,
-		results: make(map[string]*jobResult),
+		svc:       svc,
+		reg:       reg,
+		lib:       lib,
+		issuer:    issuer,
+		running:   make(map[string]context.CancelFunc),
+		completed: newCompletedCache(256, time.Hour),
 	}
+}
+
+// SetObserver attaches the observability layer: /metrics serves its
+// registry, /jobs/{id}/events serves its tracer, and every route counts
+// requests on xtract_http_requests_total.
+func (s *Server) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.obsHTTP = o.Reg().CounterVec("xtract_http_requests_total",
+		"API requests by route.", "route")
+}
+
+// SetBaseContext ties job lifetimes to the server's lifecycle: jobs
+// started by POST /jobs are cancelled when ctx is, instead of leaking
+// past shutdown on context.Background.
+func (s *Server) SetBaseContext(ctx context.Context) { s.baseCtx = ctx }
+
+// SetCompletedCacheLimits bounds the finished-job result cache. max <= 0
+// means unlimited entries; ttl <= 0 disables expiry.
+func (s *Server) SetCompletedCacheLimits(max int, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed.max = max
+	s.completed.ttl = ttl
+}
+
+func (s *Server) baseContext() context.Context {
+	if s.baseCtx != nil {
+		return s.baseCtx
+	}
+	return context.Background()
 }
 
 // EnableSearch attaches a search index fed from the validated-metadata
@@ -130,23 +303,43 @@ func (s *Server) EnableSearch(ix *index.Index, dest store.Store, destPrefix stri
 // Handler returns the API route multiplexer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.requireScope(auth.ScopeExtract, s.handleSubmit))
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.requireScope(auth.ScopeExtract, s.handleJobStatus))
-	mux.HandleFunc("GET /api/v1/sites", s.requireScope(auth.ScopeExtract, s.handleSites))
-	mux.HandleFunc("GET /api/v1/extractors", s.requireScope(auth.ScopeExtract, s.handleExtractors))
-	mux.HandleFunc("GET /api/v1/search", s.requireScope(auth.ScopeExtract, s.handleSearch))
-	mux.HandleFunc("POST /api/v1/index/refresh", s.requireScope(auth.ScopeExtract, s.handleRefresh))
+	route := func(pattern, scope string, h http.HandlerFunc) {
+		counted := func(w http.ResponseWriter, r *http.Request) {
+			s.obsHTTP.With(pattern).Inc()
+			h(w, r)
+		}
+		if scope != "" {
+			mux.HandleFunc(pattern, s.requireScope(scope, counted))
+		} else {
+			mux.HandleFunc(pattern, counted)
+		}
+	}
+	route("POST /api/v1/jobs", auth.ScopeExtract, s.handleSubmit)
+	route("GET /api/v1/jobs", auth.ScopeExtract, s.handleJobList)
+	route("GET /api/v1/jobs/{id}", auth.ScopeExtract, s.handleJobStatus)
+	route("GET /api/v1/jobs/{id}/events", auth.ScopeExtract, s.handleJobEvents)
+	route("DELETE /api/v1/jobs/{id}", auth.ScopeExtract, s.handleCancel)
+	route("GET /api/v1/sites", auth.ScopeExtract, s.handleSites)
+	route("GET /api/v1/extractors", auth.ScopeExtract, s.handleExtractors)
+	route("GET /api/v1/search", auth.ScopeExtract, s.handleSearch)
+	route("POST /api/v1/index/refresh", auth.ScopeExtract, s.handleRefresh)
+	route("GET /metrics", "", s.handleMetrics) // scrape endpoint: no auth
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.Reg().WritePrometheus(w)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.idx == nil {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("api: search not enabled"))
+		writeError(w, http.StatusNotImplemented, CodeNotImplemented, fmt.Errorf("api: search not enabled"))
 		return
 	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("api: missing q parameter"))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("api: missing q parameter"))
 		return
 	}
 	resp := SearchResponse{Query: q}
@@ -158,12 +351,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
 	if s.idx == nil || s.dest == nil {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("api: search not enabled"))
+		writeError(w, http.StatusNotImplemented, CodeNotImplemented, fmt.Errorf("api: search not enabled"))
 		return
 	}
 	n, err := s.idx.IngestStore(s.dest, s.destPrefix)
 	if err != nil && n == 0 {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	docs, terms := s.idx.Stats()
@@ -176,7 +369,7 @@ func (s *Server) requireScope(scope string, next http.HandlerFunc) http.HandlerF
 		if s.issuer != nil {
 			tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 			if _, err := s.issuer.Require(tok, scope); err != nil {
-				writeError(w, http.StatusUnauthorized, err)
+				writeError(w, http.StatusUnauthorized, CodeUnauthorized, err)
 				return
 			}
 		}
@@ -190,8 +383,11 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{
+		Error:   ErrorInfo{Code: code, Message: err.Error()},
+		Message: err.Error(),
+	})
 }
 
 // grouperByName maps grouper names to implementations.
@@ -213,22 +409,22 @@ func (s *Server) grouperByName(name string) (crawler.GroupingFunc, error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	if len(req.Repos) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("api: no repositories"))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("api: no repositories"))
 		return
 	}
 	var specs []core.RepoSpec
 	for _, repo := range req.Repos {
 		grouper, err := s.grouperByName(repo.Grouper)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, CodeUnknownGrouper, err)
 			return
 		}
 		if _, ok := s.svc.Site(repo.Site); !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("api: unknown site %q", repo.Site))
+			writeError(w, http.StatusBadRequest, CodeUnknownSite, fmt.Errorf("api: unknown site %q", repo.Site))
 			return
 		}
 		specs = append(specs, core.RepoSpec{
@@ -242,26 +438,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The job ID is created inside RunJob; to hand the caller a handle
-	// immediately we pre-create the tracking slot keyed by the ID the
-	// registry will assign, learned from the goroutine.
+	// immediately we learn the ID from the goroutine, then track the run
+	// so DELETE can cancel it. The job's context descends from the server
+	// lifecycle context, not context.Background, so server shutdown (or
+	// an explicit cancel) reaches the pump.
+	ctx, cancel := context.WithCancel(s.baseContext())
 	idCh := make(chan string, 1)
 	go func() {
-		stats, err := s.svc.RunJobNotify(context.Background(), specs, idCh)
+		stats, err := s.svc.RunJobNotify(ctx, specs, idCh)
+		cancel()
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		jr := s.results[stats.JobID]
-		if jr == nil {
-			jr = &jobResult{}
-			s.results[stats.JobID] = jr
-		}
-		jr.done = true
-		jr.stats = stats
-		jr.err = err
+		s.completed.put(stats.JobID, jobResult{stats: stats, err: err})
+		delete(s.running, stats.JobID)
 	}()
 	jobID := <-idCh
 	s.mu.Lock()
-	if _, ok := s.results[jobID]; !ok {
-		s.results[jobID] = &jobResult{}
+	// The goroutine may already have finished (fast failure); only track
+	// the run while its result is not yet cached.
+	if _, done := s.completed.get(jobID); !done {
+		s.running[jobID] = cancel
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, JobResponse{JobID: jobID})
@@ -271,7 +467,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, err := s.reg.Job(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	status := JobStatus{
@@ -282,15 +478,99 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		Record:  rec,
 	}
 	s.mu.Lock()
-	if jr, ok := s.results[id]; ok && jr.done {
+	if res, ok := s.completed.get(id); ok {
 		status.Complete = true
-		status.Stats = &jr.stats
-		if jr.err != nil {
-			status.Err = jr.err.Error()
+		status.Stats = &res.stats
+		if res.err != nil {
+			status.Err = res.err.Error()
 		}
+	} else if _, run := s.running[id]; !run && rec.State.Terminal() {
+		// Finished long ago: the stats were evicted from the bounded
+		// cache, but the registry record still proves completion.
+		status.Complete = true
+		status.Err = rec.Err
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, offset := 50, 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("api: bad limit %q", v))
+			return
+		}
+		if n > 0 {
+			limit = n
+		}
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("api: bad offset %q", v))
+			return
+		}
+		offset = n
+	}
+	stateFilter := strings.ToUpper(q.Get("state"))
+
+	resp := JobListResponse{Jobs: []JobSummary{}}
+	for _, rec := range s.reg.Jobs() {
+		if stateFilter != "" && string(rec.State) != stateFilter {
+			continue
+		}
+		resp.Total++
+		if resp.Total <= offset || len(resp.Jobs) >= limit {
+			continue
+		}
+		resp.Jobs = append(resp.Jobs, JobSummary{
+			JobID:         rec.ID,
+			State:         string(rec.State),
+			Submitted:     rec.Submitted,
+			Repositories:  rec.Repositories,
+			GroupsCrawled: rec.GroupsCrawled,
+			GroupsDone:    rec.GroupsDone,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.reg.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	events, dropped := s.obs.Tracer().Events(id)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, JobEventsResponse{JobID: id, Events: events, Dropped: dropped})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	cancel, running := s.running[id]
+	s.mu.Unlock()
+	if running {
+		cancel()
+		writeJSON(w, http.StatusAccepted, CancelResponse{JobID: id, State: "cancelling"})
+		return
+	}
+	rec, err := s.reg.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	writeError(w, http.StatusConflict, CodeJobNotRunning,
+		fmt.Errorf("api: job %s is %s, not running", id, rec.State))
 }
 
 func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {

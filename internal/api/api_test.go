@@ -14,6 +14,8 @@ import (
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
 	"xtract/internal/index"
+	"xtract/internal/obs"
+	"xtract/internal/queue"
 	"xtract/internal/registry"
 	"xtract/internal/sdk"
 	"xtract/internal/store"
@@ -21,31 +23,54 @@ import (
 	"xtract/internal/validate"
 )
 
+// testDeps exposes the pieces of a test deployment individual tests poke.
+type testDeps struct {
+	Server *api.Server
+	Store  *store.MemFS
+}
+
 // newTestServer stands up a full service with one compute site behind the
 // REST API and returns a client plus the issuer.
 func newTestServer(t *testing.T, withAuth bool) (*sdk.XtractClient, *auth.Issuer, func()) {
+	client, issuer, _, done := newTestServerDeps(t, withAuth, nil)
+	return client, issuer, done
+}
+
+// newTestServerDeps is newTestServer, additionally exposing test hooks and
+// letting the caller wrap the site's data layer (e.g., to slow listings).
+func newTestServerDeps(t *testing.T, withAuth bool, wrapStore func(store.Store) store.Store) (*sdk.XtractClient, *auth.Issuer, *testDeps, func()) {
 	t.Helper()
 	clk := clock.NewReal()
+	o := obs.New(clk)
 	fsvc := faas.NewService(clk, faas.Costs{})
+	fsvc.Instrument(o.Reg())
 	fabric := transfer.NewFabric(clk)
+	fabric.Instrument(o.Reg())
 	reg := registry.New(clk, 0)
 	lib := extractors.DefaultLibrary()
 	families, prefetch, prefetchDone, results := core.NewQueues(clk)
+	for _, q := range []*queue.Queue{families, prefetch, prefetchDone, results} {
+		q.Instrument(o.Reg())
+	}
 
 	svc := core.New(core.Config{
 		Clock: clk, FaaS: fsvc, Fabric: fabric, Registry: reg, Library: lib,
 		FamilyQueue: families, PrefetchQueue: prefetch,
-		PrefetchDone: prefetchDone, ResultQueue: results,
+		PrefetchDone: prefetchDone, ResultQueue: results, Obs: o,
 	})
 	fs := store.NewMemFS("local", nil)
-	fabric.AddEndpoint("local", fs)
+	var siteStore store.Store = fs
+	if wrapStore != nil {
+		siteStore = wrapStore(fs)
+	}
+	fabric.AddEndpoint("local", siteStore)
 	ep := faas.NewEndpoint("ep-local", 2, clk)
 	fsvc.RegisterEndpoint(ep)
 	ctx, cancel := context.WithCancel(context.Background())
 	if err := ep.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	svc.AddSite(&core.Site{Name: "local", Store: fs, TransferID: "local", Compute: ep})
+	svc.AddSite(&core.Site{Name: "local", Store: siteStore, TransferID: "local", Compute: ep})
 	if err := svc.RegisterExtractors(); err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +80,7 @@ func newTestServer(t *testing.T, withAuth bool) (*sdk.XtractClient, *auth.Issuer
 	dest := store.NewMemFS("dest", nil)
 	vs := validate.NewService(validate.Passthrough{}, results, dest, clk)
 	vs.PollInterval = time.Millisecond
+	vs.Instrument(o)
 	go vs.Run(ctx)
 
 	// Seed a couple of files.
@@ -66,13 +92,16 @@ func newTestServer(t *testing.T, withAuth bool) (*sdk.XtractClient, *auth.Issuer
 		issuer = auth.NewIssuer([]byte("api-key"), clk)
 	}
 	srv := api.NewServer(svc, reg, lib, issuer)
+	srv.SetObserver(o)
+	srv.SetBaseContext(ctx)
 	ts := httptest.NewServer(srv.Handler())
 	token := ""
 	if withAuth {
 		token = issuer.Issue("tester", []string{auth.ScopeExtract}, time.Hour)
 	}
 	client := sdk.New(ts.URL, token)
-	return client, issuer, func() { ts.Close(); cancel() }
+	deps := &testDeps{Server: srv, Store: fs}
+	return client, issuer, deps, func() { ts.Close(); cancel() }
 }
 
 func TestSubmitAndPollJob(t *testing.T) {

@@ -1,0 +1,61 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCompletedCacheLRU(t *testing.T) {
+	c := newCompletedCache(2, 0)
+	c.put("a", jobResult{})
+	c.put("b", jobResult{})
+	// Touch a so b becomes the least recently used entry.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", jobResult{})
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest entry c evicted")
+	}
+}
+
+func TestCompletedCacheTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newCompletedCache(10, time.Minute)
+	c.now = func() time.Time { return now }
+	c.put("a", jobResult{})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("expired entry still served")
+	}
+	if c.len() != 0 {
+		t.Fatalf("expired entry not removed, len = %d", c.len())
+	}
+}
+
+func TestCompletedCacheRefresh(t *testing.T) {
+	c := newCompletedCache(2, 0)
+	c.put("a", jobResult{})
+	c.put("b", jobResult{})
+	// Re-putting refreshes recency instead of growing the cache.
+	c.put("a", jobResult{})
+	c.put("c", jobResult{})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted after a was refreshed")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}

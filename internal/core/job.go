@@ -3,13 +3,16 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"xtract/internal/clock"
 	"xtract/internal/crawler"
 	"xtract/internal/faas"
 	"xtract/internal/family"
+	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/registry"
 	"xtract/internal/scheduler"
@@ -101,13 +104,18 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	if idCh != nil {
 		idCh <- jobID
 	}
+	s.obs.Emitf(jobID, obs.EvJobSubmitted, "repositories=%s", strings.Join(names, ","))
+	s.obsJobsActive.Inc()
+	defer s.obsJobsActive.Dec()
 
 	crawlDone := make(chan crawler.Stats, len(repos))
 	crawlErr := make(chan error, len(repos))
 	for _, spec := range repos {
 		site, ok := s.Site(spec.SiteName)
 		if !ok {
-			return JobStats{JobID: jobID}, fmt.Errorf("core: unknown site %q", spec.SiteName)
+			err := fmt.Errorf("core: unknown site %q", spec.SiteName)
+			s.failJob(jobID, err)
+			return JobStats{JobID: jobID}, err
 		}
 		c := crawler.New(site.Store, spec.Grouper, s.cfg.FamilyQueue)
 		if spec.CrawlWorkers > 0 {
@@ -117,12 +125,21 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 			c.MaxFamilySize = spec.MaxFamilySize
 		}
 		c.UseMinTransfers = !spec.NoMinTransfers
+		c.ObsDirsListed = s.obsCrawlDirs
+		c.ObsFilesSeen = s.obsCrawlFiles
+		c.ObsGroupsFormed = s.obsCrawlGroups
+		c.ObsFamiliesEmitted = s.obsCrawlFamilies
+		c.ObsBytesSeen = s.obsCrawlBytes
+		c.ObsListErrors = s.obsCrawlErrors
 		go func(spec RepoSpec) {
+			s.obs.Emitf(jobID, obs.EvCrawlStarted, "site=%s roots=%d", spec.SiteName, len(spec.Roots))
 			stats, err := c.Crawl(ctx, spec.Roots)
 			if err != nil {
 				crawlErr <- err
 				return
 			}
+			s.obs.Emitf(jobID, obs.EvCrawlFinished, "site=%s files=%d families=%d",
+				spec.SiteName, stats.FilesSeen, stats.FamiliesEmitted)
 			crawlDone <- stats
 		}(spec)
 	}
@@ -144,6 +161,7 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	crawlsPending := len(repos)
 	for {
 		if err := ctx.Err(); err != nil {
+			s.failJob(jobID, err)
 			return JobStats{JobID: jobID}, err
 		}
 		progress := false
@@ -161,6 +179,7 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 				progress = true
 				continue
 			case err := <-crawlErr:
+				s.failJob(jobID, err)
 				return JobStats{JobID: jobID}, err
 			default:
 			}
@@ -200,6 +219,8 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 		j.GroupsCrawled = crawlStats.GroupsFormed
 		j.GroupsDone = s.GroupsProcessed.Value()
 	})
+	s.obsJobs.With(string(registry.JobComplete)).Inc()
+	s.obs.Emitf(jobID, obs.EvJobCompleted, "families_failed=%d elapsed=%s", p.failedFam, elapsed)
 	return JobStats{
 		JobID:            jobID,
 		Crawl:            crawlStats,
@@ -211,6 +232,23 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 		BytesStaged:      s.BytesStaged.Value(),
 		Elapsed:          elapsed,
 	}, nil
+}
+
+// failJob marks a job record terminal after an error: CANCELLED when the
+// context was cancelled (the DELETE /jobs/{id} path), FAILED otherwise.
+func (s *Service) failJob(jobID string, err error) {
+	state := registry.JobFailed
+	event := obs.EvJobFailed
+	if errors.Is(err, context.Canceled) {
+		state = registry.JobCancelled
+		event = obs.EvJobCancelled
+	}
+	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
+		j.State = state
+		j.Err = err.Error()
+	})
+	s.obsJobs.With(string(state)).Inc()
+	s.obs.Emit(jobID, event, err.Error())
 }
 
 // intakeFamilies pulls crawled families off the queue, places them, and
@@ -226,6 +264,8 @@ func (p *pump) intakeFamilies() bool {
 			_ = p.s.cfg.FamilyQueue.Delete(m.Receipt)
 			continue
 		}
+		p.s.obs.Emitf(p.jobID, obs.EvFamilyEnqueued, "family=%s groups=%d bytes=%d",
+			fam.ID, len(fam.Groups), fam.TotalBytes())
 		p.placeFamily(fam)
 		_ = p.s.cfg.FamilyQueue.Delete(m.Receipt)
 	}
@@ -237,7 +277,7 @@ func (p *pump) intakeFamilies() bool {
 func (p *pump) placeFamily(fam family.Family) {
 	home, ok := p.s.Site(fam.Store)
 	if !ok {
-		p.failedFam++
+		p.failFamily(fam.ID, "unknown home site "+fam.Store)
 		return
 	}
 	var alternates []scheduler.SiteState
@@ -252,7 +292,7 @@ func (p *pump) placeFamily(fam family.Family) {
 	target, ok := p.s.Site(targetName)
 	if !ok || !target.HasCompute() {
 		// No compute anywhere reachable: the family cannot be processed.
-		p.failedFam++
+		p.failFamily(fam.ID, "no compute site for placement")
 		return
 	}
 
@@ -297,7 +337,7 @@ func (p *pump) placeFamily(fam family.Family) {
 		}
 		p.s.mu.Unlock()
 		if target == nil {
-			p.failedFam++
+			p.failFamily(fam.ID, "no staging capacity")
 			return
 		}
 		st.site = target
@@ -319,6 +359,15 @@ func (p *pump) placeFamily(fam family.Family) {
 	body, _ := json.Marshal(task)
 	p.s.cfg.PrefetchQueue.Send(body)
 	p.staging[fam.ID] = st
+	p.s.obs.Emitf(p.jobID, obs.EvFamilyStaging, "family=%s dst=%s files=%d",
+		fam.ID, target.Name, len(pairs))
+}
+
+// failFamily abandons a family, recording the reason on the job trace.
+func (p *pump) failFamily(famID, reason string) {
+	p.failedFam++
+	p.s.obsFamiliesFailed.Inc()
+	p.s.obs.Emitf(p.jobID, obs.EvFamilyFailed, "family=%s abandoned: %s", famID, reason)
 }
 
 // intakeStaged consumes prefetcher results and readies staged families.
@@ -339,10 +388,13 @@ func (p *pump) intakeStaged() bool {
 			if res.OK {
 				st.xferDur = res.Elapsed
 				p.s.BytesStaged.Add(res.Bytes)
+				p.s.obsBytesStaged.Add(float64(res.Bytes))
+				p.s.obs.Emitf(p.jobID, obs.EvFamilyStaged, "family=%s bytes=%d elapsed=%s",
+					res.FamilyID, res.Bytes, res.Elapsed)
 				p.states[st.fam.ID] = st
 				p.bucketReadySteps(st)
 			} else {
-				p.failedFam++
+				p.failFamily(res.FamilyID, "staging failed: "+res.Err)
 			}
 		}
 		_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
@@ -435,6 +487,7 @@ func (p *pump) enqueueTask(site, extractor string, steps []stepPayload) bool {
 			if st, ok := p.states[sp.FamilyID]; ok {
 				st.plan.Fail(scheduler.Step{GroupID: sp.GroupID, Extractor: extractor})
 				p.s.StepsFailed.Inc()
+				p.s.obsStepsFailed.Inc()
 				p.finishIfDone(st)
 			}
 		}
@@ -480,6 +533,8 @@ func (p *pump) submit() {
 		for i, id := range ids {
 			p.out[id] = p.refs[i]
 			p.outIDs = append(p.outIDs, id)
+			p.s.obs.Emitf(p.jobID, obs.EvBatchDispatched, "task=%s steps=%d endpoint=%s",
+				id, len(p.refs[i]), p.reqs[i].EndpointID)
 		}
 	}
 	p.reqs = nil
@@ -521,11 +576,15 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 				if st, ok := p.states[r.famID]; ok {
 					st.plan.Fail(r.step)
 					p.s.StepsFailed.Inc()
+					p.s.obsStepsFailed.Inc()
 					touched[r.famID] = st
 				}
 			}
+			p.s.obs.Emitf(p.jobID, obs.EvTaskFailed, "task=%s bad result payload", id)
 			break
 		}
+		p.s.obs.Emitf(p.jobID, obs.EvTaskCompleted, "task=%s extractor=%s outcomes=%d",
+			id, result.Extractor, len(result.Outcomes))
 		for i, outc := range result.Outcomes {
 			st, ok := p.states[outc.FamilyID]
 			if !ok {
@@ -544,28 +603,36 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 				st.plan.Complete(step, outc.Metadata)
 				st.results[outc.GroupID+"/"+step.Extractor] = outc.Metadata
 				p.s.GroupsProcessed.Inc()
+				p.s.obsGroupsProcessed.Inc()
 				p.s.Throughput.Record(p.s.clk.Since(p.start), 1)
 				p.s.StepDurations.Observe(step.Extractor, dur)
+				p.s.obsStepDuration.With(step.Extractor).ObserveDuration(dur)
 				if st.staged {
 					p.s.TransferDurations.Observe(step.Extractor, st.xferDur)
 				}
 			} else {
 				st.plan.Fail(step)
 				p.s.StepsFailed.Inc()
+				p.s.obsStepsFailed.Inc()
 			}
 			touched[outc.FamilyID] = st
 		}
 	case faas.TaskFailed:
+		p.s.obs.Emitf(p.jobID, obs.EvTaskFailed, "task=%s steps=%d", id, len(refs))
 		for _, r := range refs {
 			if st, ok := p.states[r.famID]; ok {
 				st.plan.Fail(r.step)
 				p.s.StepsFailed.Inc()
+				p.s.obsStepsFailed.Inc()
 				touched[r.famID] = st
 			}
 		}
 	case faas.TaskLost:
 		// Allocation ended: resubmit every family step (Figure 8 restart).
 		p.s.TasksResubmitted.Inc()
+		p.s.obsTasksResubmitted.Inc()
+		p.s.obs.Emitf(p.jobID, obs.EvTaskLost, "task=%s steps=%d", id, len(refs))
+		p.s.obs.Emitf(p.jobID, obs.EvTaskResubmitted, "task=%s steps requeued", id)
 		for _, r := range refs {
 			if st, ok := p.states[r.famID]; ok {
 				st.plan.Reset(r.step)
@@ -604,6 +671,8 @@ func (p *pump) finishIfDone(st *famState) {
 	body, _ := json.Marshal(rec)
 	p.s.cfg.ResultQueue.Send(body)
 	p.s.FamiliesDone.Inc()
+	p.s.obsFamiliesDone.Inc()
+	p.s.obs.Emitf(p.jobID, obs.EvFamilyDone, "family=%s steps=%d", st.fam.ID, len(st.steps))
 }
 
 // NewQueues is a convenience constructor for the four queues a service

@@ -18,6 +18,7 @@ import (
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
 	"xtract/internal/metrics"
+	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/registry"
 	"xtract/internal/scheduler"
@@ -113,6 +114,9 @@ type Config struct {
 	FuncXBatchSize int
 	// Checkpoint enables per-step checkpointing at the endpoints.
 	Checkpoint bool
+	// Obs is the runtime observability layer (nil disables live metrics
+	// and per-job event traces at near-zero cost).
+	Obs *obs.Observer
 }
 
 // Service is the Xtract orchestrator.
@@ -143,6 +147,24 @@ type Service struct {
 	StepDurations *metrics.Breakdown
 	// TransferDurations records per-extractor staging times (Table 3).
 	TransferDurations *metrics.Breakdown
+
+	// Live observability handles resolved from cfg.Obs (nil-safe).
+	obs                 *obs.Observer
+	obsJobs             *obs.CounterVec
+	obsJobsActive       *obs.Gauge
+	obsFamiliesDone     *obs.Counter
+	obsFamiliesFailed   *obs.Counter
+	obsGroupsProcessed  *obs.Counter
+	obsStepsFailed      *obs.Counter
+	obsTasksResubmitted *obs.Counter
+	obsBytesStaged      *obs.Counter
+	obsStepDuration     *obs.HistogramVec
+	obsCrawlDirs        *obs.Counter
+	obsCrawlFiles       *obs.Counter
+	obsCrawlGroups      *obs.Counter
+	obsCrawlFamilies    *obs.Counter
+	obsCrawlBytes       *obs.Counter
+	obsCrawlErrors      *obs.Counter
 }
 
 // New constructs the service. Call AddSite and RegisterExtractors before
@@ -157,7 +179,7 @@ func New(cfg Config) *Service {
 	if cfg.FuncXBatchSize < 1 {
 		cfg.FuncXBatchSize = 16
 	}
-	return &Service{
+	s := &Service{
 		cfg:               cfg,
 		clk:               cfg.Clock,
 		sites:             make(map[string]*Site),
@@ -166,7 +188,40 @@ func New(cfg Config) *Service {
 		ColdStartCost:     0,
 		StepDurations:     metrics.NewBreakdown(),
 		TransferDurations: metrics.NewBreakdown(),
+		obs:               cfg.Obs,
 	}
+	reg := cfg.Obs.Reg()
+	s.obsJobs = reg.CounterVec("xtract_jobs_total",
+		"Extraction jobs by terminal state.", "state")
+	s.obsJobsActive = reg.Gauge("xtract_jobs_active",
+		"Extraction jobs currently running.")
+	s.obsFamiliesDone = reg.Counter("xtract_families_done_total",
+		"Families whose extraction plans completed.")
+	s.obsFamiliesFailed = reg.Counter("xtract_families_failed_total",
+		"Families abandoned (no placement, staging failure, or capacity).")
+	s.obsGroupsProcessed = reg.Counter("xtract_groups_processed_total",
+		"Group-extractor steps completed successfully.")
+	s.obsStepsFailed = reg.Counter("xtract_steps_failed_total",
+		"Group-extractor steps that failed.")
+	s.obsTasksResubmitted = reg.Counter("xtract_tasks_resubmitted_total",
+		"FaaS tasks resubmitted after being lost.")
+	s.obsBytesStaged = reg.Counter("xtract_bytes_staged_total",
+		"Bytes staged to remote compute sites by the prefetcher.")
+	s.obsStepDuration = reg.HistogramVec("xtract_step_duration_seconds",
+		"Extractor execution time per step.", nil, "extractor")
+	s.obsCrawlDirs = reg.Counter("xtract_crawl_dirs_listed_total",
+		"Directories listed by crawlers.")
+	s.obsCrawlFiles = reg.Counter("xtract_crawl_files_seen_total",
+		"Files seen by crawlers.")
+	s.obsCrawlGroups = reg.Counter("xtract_crawl_groups_formed_total",
+		"File groups formed by crawlers.")
+	s.obsCrawlFamilies = reg.Counter("xtract_crawl_families_emitted_total",
+		"Families emitted onto the family queue by crawlers.")
+	s.obsCrawlBytes = reg.Counter("xtract_crawl_bytes_seen_total",
+		"File bytes discovered by crawlers.")
+	s.obsCrawlErrors = reg.Counter("xtract_crawl_list_errors_total",
+		"Directory listings that failed during crawls.")
+	return s
 }
 
 // AddSite registers an endpoint with the service. The site's store name

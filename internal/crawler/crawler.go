@@ -18,6 +18,7 @@ import (
 	"xtract/internal/clock"
 	"xtract/internal/family"
 	"xtract/internal/metrics"
+	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/store"
 )
@@ -76,6 +77,15 @@ type Crawler struct {
 	ListErrors      metrics.Counter
 	RateLimited     metrics.Counter
 	WorkersSpawned  metrics.Counter
+
+	// Live observability handles, shared across the crawls of a service
+	// and set by the caller (nil-safe when unset).
+	ObsDirsListed      *obs.Counter
+	ObsFilesSeen       *obs.Counter
+	ObsGroupsFormed    *obs.Counter
+	ObsFamiliesEmitted *obs.Counter
+	ObsBytesSeen       *obs.Counter
+	ObsListErrors      *obs.Counter
 }
 
 // New returns a crawler with sensible defaults (16 workers, min-transfers
@@ -268,9 +278,11 @@ func (c *Crawler) processDir(dir string, dq *dirQueue, rng *rand.Rand, groupsFor
 	infos, err := c.listWithBackoff(dir)
 	if err != nil {
 		c.ListErrors.Inc()
+		c.ObsListErrors.Inc()
 		return
 	}
 	c.DirsListed.Inc()
+	c.ObsDirsListed.Inc()
 	var files []store.FileInfo
 	for _, fi := range infos {
 		if fi.IsDir {
@@ -281,14 +293,21 @@ func (c *Crawler) processDir(dir string, dq *dirQueue, rng *rand.Rand, groupsFor
 		c.FilesSeen.Inc()
 		bytesSeen.Add(fi.Size)
 	}
+	c.ObsFilesSeen.Add(float64(len(files)))
 	if len(files) == 0 {
 		return
 	}
+	var total int64
+	for _, fi := range files {
+		total += fi.Size
+	}
+	c.ObsBytesSeen.Add(float64(total))
 	groups := c.Grouper(dir, files)
 	if len(groups) == 0 {
 		return
 	}
 	groupsFormed.Add(int64(len(groups)))
+	c.ObsGroupsFormed.Add(float64(len(groups)))
 
 	var fams []family.Family
 	if c.UseMinTransfers {
@@ -321,5 +340,6 @@ func (c *Crawler) processDir(dir string, dq *dirQueue, rng *rand.Rand, groupsFor
 		}
 		c.Out.Send(body)
 		c.FamiliesEmitted.Inc()
+		c.ObsFamiliesEmitted.Inc()
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"xtract/internal/core"
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
+	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/registry"
 	"xtract/internal/scheduler"
@@ -73,10 +74,15 @@ type Deployment struct {
 	Prefetcher *transfer.Prefetcher
 	Validation *validate.Service
 	Dest       store.Store
-	Queues     struct {
+	// Obs is the deployment-wide observability layer: every substrate
+	// reports into its metric registry and per-job event tracer.
+	Obs    *obs.Observer
+	Queues struct {
 		Families, Prefetch, PrefetchDone, Results *queue.Queue
 	}
 
+	// Ctx is the deployment lifecycle context; it is cancelled by Close.
+	Ctx    context.Context
 	cancel context.CancelFunc
 }
 
@@ -101,12 +107,20 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		FaaS:    faas.NewService(clk, opts.FaaSCosts),
 		Fabric:  transfer.NewFabric(clk),
 		Dest:    opts.Dest,
+		Obs:     obs.New(clk),
+		Ctx:     ctx,
 		cancel:  cancel,
 	}
 	d.Registry = registry.New(clk, 0)
 	families, prefetch, prefetchDone, results := core.NewQueues(clk)
 	d.Queues.Families, d.Queues.Prefetch = families, prefetch
 	d.Queues.PrefetchDone, d.Queues.Results = prefetchDone, results
+
+	d.FaaS.Instrument(d.Obs.Reg())
+	d.Fabric.Instrument(d.Obs.Reg())
+	for _, q := range []*queue.Queue{families, prefetch, prefetchDone, results} {
+		q.Instrument(d.Obs.Reg())
+	}
 
 	d.Service = core.New(core.Config{
 		Clock:           clk,
@@ -122,6 +136,7 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		XtractBatchSize: opts.XtractBatchSize,
 		FuncXBatchSize:  opts.FuncXBatchSize,
 		Checkpoint:      opts.Checkpoint,
+		Obs:             d.Obs,
 	})
 
 	for _, spec := range sites {
@@ -159,6 +174,7 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 	go d.Prefetcher.Run(ctx, 2)
 
 	d.Validation = validate.NewService(opts.Validator, results, opts.Dest, clk)
+	d.Validation.Instrument(d.Obs)
 	go d.Validation.Run(ctx)
 	return d, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"xtract/internal/clock"
 	"xtract/internal/metrics"
+	"xtract/internal/obs"
 )
 
 // ContainerManager tracks warm container instances on an endpoint. The
@@ -24,6 +25,11 @@ type ContainerManager struct {
 
 	ColdStarts metrics.Counter
 	WarmHits   metrics.Counter
+
+	// Shared observability handles, set by the owning service (nil-safe).
+	obsColdStarts *obs.Counter
+	obsColdStart  *obs.Histogram
+	obsWarmHits   *obs.Counter
 }
 
 // NewContainerManager returns a manager that asks coldStart for each
@@ -43,11 +49,15 @@ func (cm *ContainerManager) Acquire(containerID string) {
 		cm.warm[containerID]--
 		cm.mu.Unlock()
 		cm.WarmHits.Inc()
+		cm.obsWarmHits.Inc()
 		return
 	}
 	cm.mu.Unlock()
 	cm.ColdStarts.Inc()
-	cm.clk.Sleep(cm.coldStart(containerID))
+	cm.obsColdStarts.Inc()
+	cost := cm.coldStart(containerID)
+	cm.obsColdStart.ObserveDuration(cost)
+	cm.clk.Sleep(cost)
 }
 
 // Release returns an instance to the warm pool.
@@ -115,6 +125,9 @@ func NewEndpoint(id string, workers int, clk clock.Clock) *Endpoint {
 func (e *Endpoint) attach(svc *Service) {
 	e.svc = svc
 	e.containers = NewContainerManager(e.clk, svc.ColdStart)
+	e.containers.obsColdStarts = svc.obsColdStarts
+	e.containers.obsColdStart = svc.obsColdStart
+	e.containers.obsWarmHits = svc.obsWarmHits
 }
 
 // Containers exposes the endpoint's container manager (for stats).

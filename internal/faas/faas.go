@@ -15,6 +15,7 @@ import (
 
 	"xtract/internal/clock"
 	"xtract/internal/metrics"
+	"xtract/internal/obs"
 )
 
 // Errors returned by the service.
@@ -153,6 +154,17 @@ type Service struct {
 	TasksSubmitted metrics.Counter
 	TasksCompleted metrics.Counter
 	TasksLost      metrics.Counter
+
+	// Observability handles (nil-safe when Instrument is never called).
+	obsReg         *obs.Registry
+	obsSubmitted   *obs.Counter
+	obsCompleted   *obs.Counter
+	obsFailed      *obs.Counter
+	obsLost        *obs.Counter
+	obsTaskLatency *obs.Histogram
+	obsColdStarts  *obs.Counter
+	obsColdStart   *obs.Histogram
+	obsWarmHits    *obs.Counter
 }
 
 // NewService returns an empty service with the given control-plane costs.
@@ -166,6 +178,57 @@ func NewService(clk clock.Clock, costs Costs) *Service {
 		tasks:            make(map[string]*task),
 		lastHeartbeat:    make(map[string]time.Time),
 		HeartbeatTimeout: 30 * time.Second,
+	}
+}
+
+// Instrument registers the fabric's live metrics on the observability
+// registry: task lifecycle counters, the end-to-end task latency
+// histogram, container cold/warm start telemetry, and a per-endpoint
+// queue-depth gauge for every endpoint (including ones registered after
+// this call).
+func (s *Service) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.obsSubmitted = reg.Counter("xtract_faas_tasks_submitted_total",
+		"Tasks submitted to the FaaS fabric.")
+	s.obsCompleted = reg.Counter("xtract_faas_tasks_completed_total",
+		"Tasks that finished successfully.")
+	s.obsFailed = reg.Counter("xtract_faas_tasks_failed_total",
+		"Tasks whose handler returned an error.")
+	s.obsLost = reg.Counter("xtract_faas_tasks_lost_total",
+		"Tasks lost to a dead endpoint or failed dispatch.")
+	s.obsTaskLatency = reg.Histogram("xtract_faas_task_latency_seconds",
+		"Submit-to-finish latency of successful and failed tasks.", nil)
+	s.obsColdStarts = reg.Counter("xtract_faas_cold_starts_total",
+		"Container cold starts across all endpoints.")
+	s.obsColdStart = reg.Histogram("xtract_faas_cold_start_seconds",
+		"Container cold-start durations.", nil)
+	s.obsWarmHits = reg.Counter("xtract_faas_warm_hits_total",
+		"Container acquisitions served from the warm pool.")
+	s.mu.Lock()
+	s.obsReg = reg
+	eps := make([]*Endpoint, 0, len(s.endpoints))
+	for _, ep := range s.endpoints {
+		eps = append(eps, ep)
+	}
+	s.mu.Unlock()
+	for _, ep := range eps {
+		s.instrumentEndpoint(reg, ep)
+	}
+}
+
+// instrumentEndpoint registers the endpoint's queue-depth gauge and
+// refreshes its container manager's shared handles (covers endpoints
+// registered before Instrument was called).
+func (s *Service) instrumentEndpoint(reg *obs.Registry, ep *Endpoint) {
+	reg.GaugeFunc("xtract_faas_queue_depth", "Tasks waiting on the endpoint's local queue.",
+		map[string]string{"endpoint": ep.ID},
+		func() float64 { return float64(ep.QueueDepth()) })
+	if cm := ep.containers; cm != nil {
+		cm.obsColdStarts = s.obsColdStarts
+		cm.obsColdStart = s.obsColdStart
+		cm.obsWarmHits = s.obsWarmHits
 	}
 }
 
@@ -200,10 +263,14 @@ func (s *Service) RegisterFunction(name string, h Handler, containerID string) (
 // RegisterEndpoint attaches an endpoint to the service.
 func (s *Service) RegisterEndpoint(ep *Endpoint) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.endpoints[ep.ID] = ep
 	s.lastHeartbeat[ep.ID] = s.clk.Now()
+	reg := s.obsReg
+	s.mu.Unlock()
 	ep.attach(s)
+	if reg != nil {
+		s.instrumentEndpoint(reg, ep)
+	}
 }
 
 // ColdStart returns the registered cold-start cost of a container.
@@ -266,6 +333,7 @@ func (s *Service) SubmitBatch(reqs []TaskRequest) ([]string, error) {
 	s.mu.Unlock()
 
 	s.TasksSubmitted.Add(int64(len(reqs)))
+	s.obsSubmitted.Add(float64(len(reqs)))
 	for _, r := range byEP {
 		for i, t := range r.tasks {
 			if err := r.ep.enqueue(t, r.fns[i], s.costs.DispatchPerTask); err != nil {
@@ -274,6 +342,7 @@ func (s *Service) SubmitBatch(reqs []TaskRequest) ([]string, error) {
 				t.mu.Unlock()
 				t.setStatus(TaskLost)
 				s.TasksLost.Inc()
+				s.obsLost.Inc()
 			}
 		}
 	}
@@ -360,6 +429,7 @@ func (s *Service) endpointLost(epID string) {
 		t.mu.Unlock()
 		t.setStatus(TaskLost)
 		s.TasksLost.Inc()
+		s.obsLost.Inc()
 	}
 }
 
@@ -393,14 +463,18 @@ func (s *Service) taskFinished(t *task, result []byte, err error) {
 		return
 	}
 	t.info.Finished = s.clk.Now()
+	latency := t.info.Finished.Sub(t.info.Submitted)
 	if err != nil {
 		t.info.Err = err.Error()
 		t.info.Status = TaskFailed
+		s.obsFailed.Inc()
 	} else {
 		t.info.Result = result
 		t.info.Status = TaskSuccess
+		s.obsCompleted.Inc()
 	}
 	close(t.doneCh)
 	t.mu.Unlock()
 	s.TasksCompleted.Inc()
+	s.obsTaskLatency.ObserveDuration(latency)
 }

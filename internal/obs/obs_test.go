@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xtract/internal/clock"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "total jobs")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	// Same name returns the same underlying series.
+	if got := r.Counter("jobs_total", "total jobs").Value(); got != 3 {
+		t.Fatalf("re-registered counter = %v, want 3", got)
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("tasks_total", "tasks by status", "status")
+	cv.With("ok").Add(4)
+	cv.With("lost").Inc()
+	if got := cv.With("ok").Value(); got != 4 {
+		t.Fatalf("With(ok) = %v, want 4", got)
+	}
+	if got := cv.With("lost").Value(); got != 1 {
+		t.Fatalf("With(lost) = %v, want 1", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity should panic")
+		}
+	}()
+	cv.With("a", "b")
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 55.65 {
+		t.Fatalf("sum = %v, want 55.65", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and 0.1 (le is inclusive)
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+		"# TYPE latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("b_total", "b help", "site").With(`we"ird\value`).Inc()
+	r.Gauge("a_gauge", "a help").Set(2.5)
+	r.GaugeFunc("depth", "live depth", map[string]string{"queue": "families"},
+		func() float64 { return 7 })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	// Families are sorted by name: a_gauge, b_total, depth.
+	ia, ib, id := strings.Index(out, "a_gauge"), strings.Index(out, "b_total"), strings.Index(out, "depth")
+	if !(ia < ib && ib < id) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP a_gauge a help",
+		"# TYPE a_gauge gauge",
+		"a_gauge 2.5",
+		`b_total{site="we\"ird\\value"} 1`,
+		`depth{queue="families"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "h").Inc()
+	r.CounterVec("cv", "h", "l").With("x").Add(2)
+	r.Gauge("g", "h").Set(1)
+	r.GaugeVec("gv", "h", "l").With("x").Dec()
+	r.Histogram("h", "h", nil).Observe(1)
+	r.HistogramVec("hv", "h", nil, "l").With("x").ObserveDuration(time.Second)
+	r.GaugeFunc("gf", "h", nil, func() float64 { return 1 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", sb.String())
+	}
+
+	var o *Observer
+	o.Emit("job-1", EvJobSubmitted, "")
+	o.Reg().Counter("c", "h").Inc()
+	if evs, _ := o.Tracer().Events("job-1"); evs != nil {
+		t.Fatalf("nil tracer returned events %v", evs)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("n_total", "h", "worker")
+	h := r.Histogram("d_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := string(rune('a' + id))
+			for j := 0; j < 1000; j++ {
+				cv.With(w).Inc()
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if got := cv.With("a").Value(); got != 1000 {
+		t.Fatalf("worker a = %v, want 1000", got)
+	}
+}
+
+func TestTracerOrderAndRing(t *testing.T) {
+	clk := clock.NewFake(time.Unix(1000, 0))
+	tr := NewTracer(clk, 4, 3)
+	tr.Emit("job-1", EvJobSubmitted, "start")
+	tr.Emit("job-1", EvCrawlStarted, "site=local")
+	tr.Emit("job-1", EvBatchDispatched, "task=1")
+
+	evs, dropped := tr.Events("job-1")
+	if dropped != 0 || len(evs) != 3 {
+		t.Fatalf("events = %d dropped = %d", len(evs), dropped)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+	if evs[0].Type != EvJobSubmitted || evs[2].Detail != "task=1" {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	// Overflow the 3-slot ring: the oldest events drop off.
+	tr.Emit("job-1", EvTaskCompleted, "task=1")
+	tr.Emit("job-1", EvJobCompleted, "")
+	evs, dropped = tr.Events("job-1")
+	if dropped != 2 || len(evs) != 3 {
+		t.Fatalf("after overflow: events = %d dropped = %d", len(evs), dropped)
+	}
+	if evs[0].Type != EvBatchDispatched || evs[2].Type != EvJobCompleted {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+}
+
+func TestTracerEvictsOldJobs(t *testing.T) {
+	tr := NewTracer(nil, 2, 8)
+	tr.Emit("job-1", EvJobSubmitted, "")
+	tr.Emit("job-2", EvJobSubmitted, "")
+	tr.Emit("job-3", EvJobSubmitted, "")
+	if tr.Jobs() != 2 {
+		t.Fatalf("jobs retained = %d, want 2", tr.Jobs())
+	}
+	if evs, _ := tr.Events("job-1"); len(evs) != 0 {
+		t.Fatalf("evicted job still has events: %v", evs)
+	}
+	if evs, _ := tr.Events("job-3"); len(evs) != 1 {
+		t.Fatalf("job-3 events = %v", evs)
+	}
+}

@@ -1,0 +1,481 @@
+// Package obs is Xtract's runtime observability layer: a concurrent
+// registry of named, labeled metrics (counters, gauges, bounded-bucket
+// histograms) with Prometheus text-format exposition, plus a lightweight
+// per-job event tracer. Unlike internal/metrics — which hoards raw samples
+// for offline experiment analysis — obs metrics are fixed-size aggregates
+// safe to leave enabled on a live service under heavy traffic.
+//
+// Every handle type is nil-safe: a nil *Registry hands out nil handles,
+// and every method on a nil handle is a no-op. Components therefore
+// instrument unconditionally and pay only a nil check when observability
+// is disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds,
+// spanning sub-millisecond extractor steps through multi-minute cold
+// starts and transfers.
+var DefBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Registry is a concurrent collection of metric families. The zero value
+// is not usable; construct with NewRegistry. A nil *Registry is a valid
+// disabled registry: every constructor returns a nil no-op handle.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*metricFamily
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*metricFamily)}
+}
+
+// metricFamily is one named metric with a fixed label schema: a set of
+// series keyed by label values, plus callback-backed gauge series.
+type metricFamily struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	funcs  []funcSeries
+}
+
+type funcSeries struct {
+	labels [][2]string
+	fn     func() float64
+}
+
+// series holds the state of one (metric, label values) time series.
+type series struct {
+	values []string // label values, aligned with family.labels
+
+	mu    sync.Mutex
+	value float64 // counter / gauge
+	// histogram state: per-bucket increments (cumulated at exposition),
+	// plus sum and count.
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// getFamily returns the named family, creating it on first use.
+// Re-registering a name with a different type or label schema panics:
+// it is a programming error, caught in tests.
+func (r *Registry) getFamily(name, help string, typ metricType, labels []string, buckets []float64) *metricFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &metricFamily{
+			name:    name,
+			help:    help,
+			typ:     typ,
+			labels:  append([]string(nil), labels...),
+			buckets: append([]float64(nil), buckets...),
+			series:  make(map[string]*series),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ || !equalStrings(f.labels, labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s%v (was %s%v)",
+			name, typ, labels, f.typ, f.labels))
+	}
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// getSeries returns the series for the given label values, creating it on
+// first use.
+func (f *metricFamily) getSeries(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{values: append([]string(nil), values...)}
+		if f.typ == typeHistogram {
+			s.counts = make([]uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the unlabeled counter registered under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeCounter, nil, nil)
+	return &Counter{s: f.getSeries(nil)}
+}
+
+// CounterVec returns a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.getFamily(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge returns the unlabeled gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, typeGauge, nil, nil)
+	return &Gauge{s: f.getSeries(nil)}
+}
+
+// GaugeVec returns a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.getFamily(name, help, typeGauge, labels, nil)}
+}
+
+// GaugeFunc registers a callback-backed gauge series: the callback is
+// invoked at exposition time. labels fixes the series' label set; it may
+// be nil for an unlabeled series. Use this for live readings such as
+// queue depths, where sampling at scrape time beats pushing on every
+// mutation.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	f := r.getFamily(name, help, typeGauge, nil, nil)
+	pairs := make([][2]string, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, [2]string{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	f.mu.Lock()
+	f.funcs = append(f.funcs, funcSeries{labels: pairs, fn: fn})
+	f.mu.Unlock()
+}
+
+// Histogram returns the unlabeled histogram registered under name.
+// buckets are the upper bounds of the observation buckets, ascending; nil
+// selects DefBuckets. Unlike metrics.Histogram, samples are folded into
+// fixed bucket counts, so memory stays constant no matter how many
+// observations arrive.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.getFamily(name, help, typeHistogram, nil, buckets)
+	return &Histogram{f: f, s: f.getSeries(nil)}
+}
+
+// HistogramVec returns a histogram family with the given label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.getFamily(name, help, typeHistogram, labels, buckets)}
+}
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct{ s *series }
+
+// Add increments the counter by v; negative deltas are ignored.
+func (c *Counter) Add(v float64) {
+	if c == nil || c.s == nil || v <= 0 {
+		return
+	}
+	c.s.mu.Lock()
+	c.s.value += v
+	c.s.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() float64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// CounterVec hands out per-label-value counters.
+type CounterVec struct{ f *metricFamily }
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Counter{s: v.f.getSeries(values)}
+}
+
+// Gauge is a metric handle that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add shifts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.mu.Lock()
+	g.s.value += v
+	g.s.mu.Unlock()
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge reading (0 for a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// GaugeVec hands out per-label-value gauges.
+type GaugeVec struct{ f *metricFamily }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Gauge{s: v.f.getSeries(values)}
+}
+
+// Histogram is a bounded-bucket distribution handle.
+type Histogram struct {
+	f *metricFamily
+	s *series
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.f.buckets, v) // first bound >= v ("le")
+	h.s.mu.Lock()
+	h.s.counts[idx]++
+	h.s.sum += v
+	h.s.count++
+	h.s.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples observed (0 for a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Sum returns the sum of all observed samples (0 for a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.sum
+}
+
+// HistogramVec hands out per-label-value histograms.
+type HistogramVec struct{ f *metricFamily }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Histogram{f: v.f, s: v.f.getSeries(values)}
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families and series sorted by name
+// so output is deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*metricFamily, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *metricFamily) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ser := make([]*series, len(keys))
+	for i, k := range keys {
+		ser[i] = f.series[k]
+	}
+	funcs := append([]funcSeries(nil), f.funcs...)
+	f.mu.Unlock()
+
+	for _, s := range ser {
+		pairs := make([][2]string, len(f.labels))
+		for i, name := range f.labels {
+			pairs[i] = [2]string{name, s.values[i]}
+		}
+		switch f.typ {
+		case typeHistogram:
+			s.mu.Lock()
+			counts := append([]uint64(nil), s.counts...)
+			sum, count := s.sum, s.count
+			s.mu.Unlock()
+			var cum uint64
+			for i, bound := range f.buckets {
+				cum += counts[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					renderLabels(append(append([][2]string(nil), pairs...),
+						[2]string{"le", formatFloat(bound)})), cum)
+			}
+			cum += counts[len(f.buckets)]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				renderLabels(append(append([][2]string(nil), pairs...),
+					[2]string{"le", "+Inf"})), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(pairs), formatFloat(sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(pairs), count)
+		default:
+			s.mu.Lock()
+			v := s.value
+			s.mu.Unlock()
+			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(pairs), formatFloat(v))
+		}
+	}
+	for _, fs := range funcs {
+		fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(fs.labels), formatFloat(fs.fn()))
+	}
+}
+
+func renderLabels(pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"xtract/internal/clock"
+	"xtract/internal/obs"
 )
 
 // ErrUnknownReceipt is returned by Delete and Nack for receipts that do
@@ -32,6 +33,7 @@ type entry struct {
 	id         string
 	body       []byte
 	deliveries int
+	enqueuedAt time.Time // first Send time; survives redelivery
 	// in-flight state
 	inflight  bool
 	receipt   string
@@ -69,7 +71,11 @@ func (q *Queue) Send(body []byte) string {
 func (q *Queue) sendLocked(body []byte) string {
 	q.seq++
 	q.sent++
-	e := &entry{id: fmt.Sprintf("%s-%d", q.name, q.seq), body: append([]byte(nil), body...)}
+	e := &entry{
+		id:         fmt.Sprintf("%s-%d", q.name, q.seq),
+		body:       append([]byte(nil), body...),
+		enqueuedAt: q.clk.Now(),
+	}
 	q.visible = append(q.visible, e)
 	return e.id
 }
@@ -178,6 +184,38 @@ func (q *Queue) InFlight() int {
 	defer q.mu.Unlock()
 	q.reclaimLocked()
 	return len(q.inflight)
+}
+
+// OldestAge reports the approximate age of the oldest visible message:
+// the time since the head of the FIFO was first sent (redelivered
+// messages keep their original send time). Zero when nothing is visible.
+// It is approximate in the SQS sense — reclaimed messages re-append, so
+// an older message may briefly sit behind a newer head.
+func (q *Queue) OldestAge() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimLocked()
+	if len(q.visible) == 0 {
+		return 0
+	}
+	age := q.clk.Now().Sub(q.visible[0].enqueuedAt)
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+// Instrument registers live depth, in-flight, and oldest-age gauges for
+// this queue, labeled by queue name, on the observability registry.
+// Values are sampled at scrape time.
+func (q *Queue) Instrument(reg *obs.Registry) {
+	labels := map[string]string{"queue": q.name}
+	reg.GaugeFunc("xtract_queue_depth", "Visible messages on the queue.",
+		labels, func() float64 { return float64(q.Len()) })
+	reg.GaugeFunc("xtract_queue_in_flight", "Received-but-unacknowledged messages on the queue.",
+		labels, func() float64 { return float64(q.InFlight()) })
+	reg.GaugeFunc("xtract_queue_oldest_age_seconds", "Approximate age of the oldest visible message.",
+		labels, func() float64 { return q.OldestAge().Seconds() })
 }
 
 // Stats reports cumulative sent and deleted counts.

@@ -9,6 +9,7 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,7 +53,13 @@ const (
 	JobExtracting JobState = "EXTRACTING"
 	JobComplete   JobState = "COMPLETE"
 	JobFailed     JobState = "FAILED"
+	JobCancelled  JobState = "CANCELLED"
 )
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobComplete || s == JobFailed || s == JobCancelled
+}
 
 // JobRecord is the persisted state of one extraction job.
 type JobRecord struct {
@@ -158,6 +165,24 @@ func (r *Registry) Job(id string) (JobRecord, error) {
 		return JobRecord{}, fmt.Errorf("%w: job %s", ErrNotFound, id)
 	}
 	return rec, nil
+}
+
+// Jobs returns every job record, sorted by submission time and then ID
+// (stable across equal timestamps). This backs the job-list API.
+func (r *Registry) Jobs() []JobRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobRecord, 0, len(r.jobs))
+	for _, rec := range r.jobs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.Before(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }
 
 // UpdateJob applies fn to the job record under the registry lock.

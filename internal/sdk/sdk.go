@@ -13,7 +13,58 @@ import (
 	"time"
 
 	"xtract/internal/api"
+	"xtract/internal/obs"
 )
+
+// APIError is a structured error returned by the service, carrying the
+// machine-readable code from the error envelope (api.Code* constants).
+type APIError struct {
+	Method string
+	Path   string
+	Status int
+	Code   string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("sdk: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+	}
+	if e.Code == "" {
+		return fmt.Sprintf("sdk: %s %s: %s", e.Method, e.Path, e.Msg)
+	}
+	return fmt.Sprintf("sdk: %s %s: %s: %s", e.Method, e.Path, e.Code, e.Msg)
+}
+
+// parseAPIError decodes an error response body, accepting the structured
+// envelope {"error": {"code", "message"}}, its deprecated "message"
+// mirror, and the legacy bare-string {"error": "..."} form produced by
+// older servers.
+func parseAPIError(method, path string, status int, data []byte) *APIError {
+	e := &APIError{Method: method, Path: path, Status: status}
+	var structured struct {
+		Error   api.ErrorInfo `json:"error"`
+		Message string        `json:"message"`
+	}
+	if json.Unmarshal(data, &structured) == nil {
+		e.Code = structured.Error.Code
+		e.Msg = structured.Error.Message
+		if e.Msg == "" {
+			e.Msg = structured.Message
+		}
+		if e.Msg != "" {
+			return e
+		}
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &legacy) == nil {
+		e.Msg = legacy.Error
+	}
+	return e
+}
 
 // XtractClient talks to an Xtract REST service.
 type XtractClient struct {
@@ -66,13 +117,7 @@ func (c *XtractClient) do(method, path string, body, out interface{}) error {
 		return err
 	}
 	if resp.StatusCode >= 400 {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("sdk: %s %s: %s", method, path, eb.Error)
-		}
-		return fmt.Errorf("sdk: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return parseAPIError(method, path, resp.StatusCode, data)
 	}
 	if out == nil {
 		return nil
@@ -132,6 +177,66 @@ func (c *XtractClient) WaitJob(jobID string, poll, timeout time.Duration) (api.J
 		}
 		time.Sleep(poll)
 	}
+}
+
+// ListJobs pages through the service's job records. state filters by job
+// state ("" for all); limit and offset paginate (0 for server defaults).
+func (c *XtractClient) ListJobs(state string, limit, offset int) (api.JobListResponse, error) {
+	q := url.Values{}
+	if state != "" {
+		q.Set("state", state)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	if offset > 0 {
+		q.Set("offset", fmt.Sprint(offset))
+	}
+	path := "/api/v1/jobs"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp api.JobListResponse
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// CancelJob asks the service to cancel a running job. The job winds down
+// asynchronously; poll JobStatus for the terminal CANCELLED state.
+func (c *XtractClient) CancelJob(jobID string) error {
+	return c.do(http.MethodDelete, "/api/v1/jobs/"+jobID, nil, nil)
+}
+
+// JobEvents fetches a job's event trace: the ordered crawl → dispatch →
+// completion timeline, plus how many early events the bounded ring
+// buffer dropped.
+func (c *XtractClient) JobEvents(jobID string) ([]obs.Event, int64, error) {
+	var resp api.JobEventsResponse
+	if err := c.do(http.MethodGet, "/api/v1/jobs/"+jobID+"/events", nil, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Events, resp.Dropped, nil
+}
+
+// Metrics fetches the service's Prometheus text exposition.
+func (c *XtractClient) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", parseAPIError(http.MethodGet, "/metrics", resp.StatusCode, data)
+	}
+	return string(data), nil
 }
 
 // Sites lists the service's registered sites.

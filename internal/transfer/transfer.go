@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"xtract/internal/clock"
+	"xtract/internal/obs"
 	"xtract/internal/store"
 )
 
@@ -122,6 +123,32 @@ type Fabric struct {
 	links     map[[2]string]*linkState
 	jobs      map[string]*job
 	seq       int
+
+	// Observability handles (nil-safe when Instrument is never called).
+	obsBytes      *obs.Counter
+	obsFiles      *obs.Counter
+	obsJobs       *obs.CounterVec
+	obsDuration   *obs.Histogram
+	obsFetchBytes *obs.Counter
+}
+
+// Instrument registers the fabric's transfer metrics on the
+// observability registry: bytes/files moved, job outcomes, transfer
+// latency, and direct-fetch bytes.
+func (f *Fabric) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	f.obsBytes = reg.Counter("xtract_transfer_bytes_total",
+		"Bytes moved by completed transfer jobs.")
+	f.obsFiles = reg.Counter("xtract_transfer_files_total",
+		"Files moved by completed transfer jobs.")
+	f.obsJobs = reg.CounterVec("xtract_transfer_jobs_total",
+		"Transfer jobs by terminal status.", "status")
+	f.obsDuration = reg.Histogram("xtract_transfer_duration_seconds",
+		"End-to-end latency of transfer jobs.", nil)
+	f.obsFetchBytes = reg.Counter("xtract_transfer_fetch_bytes_total",
+		"Bytes served through the direct per-file fetch path.")
 }
 
 type linkState struct {
@@ -224,6 +251,7 @@ func (f *Fabric) run(j *job, srcEP, dstEP *Endpoint) {
 		j.err = err
 		j.finished = f.clk.Now()
 		j.mu.Unlock()
+		f.observeTerminal(j)
 		close(j.doneCh)
 	}
 
@@ -252,7 +280,22 @@ func (f *Fabric) run(j *job, srcEP, dstEP *Endpoint) {
 	j.status = StatusSucceeded
 	j.finished = f.clk.Now()
 	j.mu.Unlock()
+	f.observeTerminal(j)
 	close(j.doneCh)
+}
+
+// observeTerminal records a finished job's outcome on the observability
+// registry. Bytes and files reflect what actually moved, even on failure.
+func (f *Fabric) observeTerminal(j *job) {
+	j.mu.Lock()
+	status := j.status
+	bytes, files := j.bytes, j.done
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	f.obsJobs.With(status.String()).Inc()
+	f.obsBytes.Add(float64(bytes))
+	f.obsFiles.Add(float64(files))
+	f.obsDuration.ObserveDuration(elapsed)
 }
 
 func (f *Fabric) jobByID(id string) (*job, error) {
@@ -314,7 +357,11 @@ func (f *Fabric) Fetch(src, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return srcEP.Store.Read(path)
+	data, err := srcEP.Store.Read(path)
+	if err == nil {
+		f.obsFetchBytes.Add(float64(len(data)))
+	}
+	return data, err
 }
 
 // Endpoints lists registered endpoint IDs.

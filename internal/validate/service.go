@@ -8,6 +8,7 @@ import (
 
 	"xtract/internal/clock"
 	"xtract/internal/metrics"
+	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/store"
 )
@@ -30,6 +31,19 @@ type Service struct {
 
 	Validated metrics.Counter
 	Rejected  metrics.Counter
+
+	// Observability handles (nil-safe when Instrument is never called).
+	obsEvents  *obs.Tracer
+	obsRecords *obs.CounterVec
+}
+
+// Instrument wires the service to the observability layer: a records
+// counter labeled by result, and family_validated trace events on the
+// owning job's trace.
+func (s *Service) Instrument(o *obs.Observer) {
+	s.obsEvents = o.Tracer()
+	s.obsRecords = o.Reg().CounterVec("xtract_validate_records_total",
+		"Validation outcomes by result.", "result")
 }
 
 // NewService wires a validation service.
@@ -88,19 +102,24 @@ func (s *Service) process(body []byte) {
 	var rec Record
 	if err := json.Unmarshal(body, &rec); err != nil {
 		s.Rejected.Inc()
+		s.obsRecords.With("rejected").Inc()
 		return
 	}
 	doc, err := s.Validator.Validate(rec)
 	if err != nil {
 		s.Rejected.Inc()
+		s.obsRecords.With("rejected").Inc()
 		return
 	}
 	path := fmt.Sprintf("%s/%s.json", s.DestPrefix, sanitize(rec.FamilyID))
 	if err := s.Dest.Write(path, doc); err != nil {
 		s.Rejected.Inc()
+		s.obsRecords.With("rejected").Inc()
 		return
 	}
 	s.Validated.Inc()
+	s.obsRecords.With("validated").Inc()
+	s.obsEvents.Emitf(rec.JobID, obs.EvFamilyValidated, "family=%s doc=%s", rec.FamilyID, path)
 }
 
 // sanitize maps a family ID to a safe file name.
