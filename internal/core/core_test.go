@@ -327,8 +327,7 @@ func TestEndToEndCheckpointRestart(t *testing.T) {
 		ep2 := faas.NewEndpoint("ep-theta-2", 2, clk)
 		fsvc.RegisterEndpoint(ep2)
 		_ = ep2.Start(ctx)
-		site, _ := svc.Site("theta")
-		site.Compute = ep2
+		_ = svc.SwapCompute("theta", ep2)
 		_ = svc.RegisterExtractors() // re-register functions on new endpoint
 	}()
 
@@ -482,12 +481,31 @@ func TestExcludedExtractorFailsGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The CSV family succeeds; the text family's keyword step fails.
+	// The CSV family succeeds; the text family's keyword step exhausts
+	// its retries (the extractor is not registered here) and the family
+	// fails with a dead-letter record instead of looping.
 	if stats.StepsFailed == 0 {
 		t.Fatalf("excluded extractor did not fail its steps: %+v", stats)
 	}
-	if stats.FamiliesDone != 2 {
-		t.Fatalf("families done = %d, want 2 (both complete, one with failure)", stats.FamiliesDone)
+	if stats.FamiliesDone != 1 || stats.FamiliesFailed != 1 {
+		t.Fatalf("families done = %d failed = %d, want 1/1", stats.FamiliesDone, stats.FamiliesFailed)
+	}
+	if stats.StepsDeadLettered == 0 {
+		t.Fatalf("expected dead-lettered steps, got %+v", stats)
+	}
+	rec, err := svc.cfg.Registry.Job(stats.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != registry.JobFailed {
+		t.Fatalf("job state = %s, want FAILED", rec.State)
+	}
+	if len(rec.DeadLetters) == 0 {
+		t.Fatalf("job record has no dead letters: %+v", rec)
+	}
+	dl := rec.DeadLetters[0]
+	if dl.Kind != "step" || dl.Extractor != "keyword" || dl.Attempts == 0 {
+		t.Fatalf("unexpected dead letter: %+v", dl)
 	}
 }
 

@@ -101,6 +101,18 @@ func (s *Service) makeHandler(site *Site, ext extractors.Extractor) func(context
 // runStep executes one step, honoring checkpoints.
 func (s *Service) runStep(site *Site, ext extractors.Extractor, task taskPayload, step stepPayload) stepOutcome {
 	out := stepOutcome{FamilyID: step.FamilyID, GroupID: step.GroupID}
+	if h := s.cfg.ExtractFaults; h != nil {
+		panics, err := h.ExtractFault(task.Extractor, step.GroupID)
+		if panics {
+			// Crash the worker mid-step; the endpoint's panic recovery
+			// turns this into a TaskFailed the pump retries.
+			panic(fmt.Sprintf("faultinject: extractor %s group %s", task.Extractor, step.GroupID))
+		}
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+	}
 	cpPath := checkpointPath(step.FamilyID, step.GroupID, task.Extractor)
 	if task.Checkpoint {
 		if data, err := site.Store.Read(cpPath); err == nil {

@@ -39,15 +39,17 @@ type RepoSpec struct {
 
 // JobStats summarizes a finished job.
 type JobStats struct {
-	JobID            string
-	Crawl            crawler.Stats
-	FamiliesDone     int64
-	FamiliesFailed   int64
-	StepsProcessed   int64
-	StepsFailed      int64
-	TasksResubmitted int64
-	BytesStaged      int64
-	Elapsed          time.Duration
+	JobID             string
+	Crawl             crawler.Stats
+	FamiliesDone      int64
+	FamiliesFailed    int64
+	StepsProcessed    int64
+	StepsFailed       int64
+	TasksResubmitted  int64
+	StepsRetried      int64
+	StepsDeadLettered int64
+	BytesStaged       int64
+	Elapsed           time.Duration
 }
 
 // stepRef ties a dispatched step back to its family.
@@ -67,6 +69,30 @@ type famState struct {
 	staged    bool
 	fetchFrom string // direct-fetch source endpoint ("" = local/staged)
 	xferDur   time.Duration
+
+	// prefetchBody is the serialized staging task, kept for re-sends.
+	prefetchBody []byte
+	// stageAttempts counts staging tries for this family.
+	stageAttempts int
+	// deadLettered counts this family's quarantined steps; any > 0 makes
+	// the family fail once its plan drains.
+	deadLettered int
+}
+
+// stepKey identifies one (family, group, extractor) step for retry
+// accounting.
+type stepKey struct {
+	famID string
+	step  scheduler.Step
+}
+
+// retryItem is one backlog entry: a step (or staging task) waiting out
+// its backoff before re-dispatch.
+type retryItem struct {
+	at      time.Time
+	famID   string
+	step    scheduler.Step
+	staging bool
 }
 
 // pump is the single-threaded orchestration loop state for one job.
@@ -82,6 +108,14 @@ type pump struct {
 	out       map[string][]stepRef // taskID -> refs
 	outIDs    []string
 	failedFam int64
+
+	// attempts counts executions per step; backlog holds steps waiting
+	// out a retry backoff; budget is the job's remaining retry budget.
+	attempts     map[stepKey]int
+	backlog      []retryItem
+	budget       int
+	retried      int64
+	deadLettered int64
 }
 
 // RunJob crawls the given repositories and orchestrates extraction until
@@ -145,13 +179,15 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	}
 
 	p := &pump{
-		s:       s,
-		jobID:   jobID,
-		start:   s.clk.Now(),
-		states:  make(map[string]*famState),
-		staging: make(map[string]*famState),
-		buckets: make(map[[2]string][]stepPayload),
-		out:     make(map[string][]stepRef),
+		s:        s,
+		jobID:    jobID,
+		start:    s.clk.Now(),
+		states:   make(map[string]*famState),
+		staging:  make(map[string]*famState),
+		buckets:  make(map[[2]string][]stepPayload),
+		out:      make(map[string][]stepRef),
+		attempts: make(map[stepKey]int),
+		budget:   s.retry.JobBudget,
 	}
 	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
 		j.State = registry.JobExtracting
@@ -192,6 +228,9 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 		if p.intakeStaged() {
 			progress = true
 		}
+		if p.intakeRetries() {
+			progress = true
+		}
 		if p.pollTasks() {
 			progress = true
 		}
@@ -202,7 +241,8 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 
 		if !progress {
 			if crawlsPending == 0 && len(p.states) == 0 && len(p.staging) == 0 &&
-				len(p.outIDs) == 0 && s.cfg.FamilyQueue.Len() == 0 &&
+				len(p.outIDs) == 0 && len(p.backlog) == 0 &&
+				s.cfg.FamilyQueue.Len() == 0 &&
 				s.cfg.PrefetchDone.Len() == 0 {
 				break
 			}
@@ -214,23 +254,40 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	}
 
 	elapsed := s.clk.Since(p.start)
+	// The loop drains to convergence even with failures: families that
+	// exhausted their retries are quarantined as dead letters, and a job
+	// with any of them terminates FAILED — with the dead-letter report on
+	// its record — rather than COMPLETE or hung.
+	state := registry.JobComplete
+	event := obs.EvJobCompleted
+	var errMsg string
+	if p.failedFam > 0 || p.deadLettered > 0 {
+		state = registry.JobFailed
+		event = obs.EvJobFailed
+		errMsg = fmt.Sprintf("core: %d families failed, %d steps dead-lettered",
+			p.failedFam, p.deadLettered)
+	}
 	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
-		j.State = registry.JobComplete
+		j.State = state
 		j.GroupsCrawled = crawlStats.GroupsFormed
 		j.GroupsDone = s.GroupsProcessed.Value()
+		j.Err = errMsg
 	})
-	s.obsJobs.With(string(registry.JobComplete)).Inc()
-	s.obs.Emitf(jobID, obs.EvJobCompleted, "families_failed=%d elapsed=%s", p.failedFam, elapsed)
+	s.obsJobs.With(string(state)).Inc()
+	s.obs.Emitf(jobID, event, "families_failed=%d steps_dead_lettered=%d elapsed=%s",
+		p.failedFam, p.deadLettered, elapsed)
 	return JobStats{
-		JobID:            jobID,
-		Crawl:            crawlStats,
-		FamiliesDone:     s.FamiliesDone.Value(),
-		FamiliesFailed:   p.failedFam,
-		StepsProcessed:   s.GroupsProcessed.Value(),
-		StepsFailed:      s.StepsFailed.Value(),
-		TasksResubmitted: s.TasksResubmitted.Value(),
-		BytesStaged:      s.BytesStaged.Value(),
-		Elapsed:          elapsed,
+		JobID:             jobID,
+		Crawl:             crawlStats,
+		FamiliesDone:      s.FamiliesDone.Value(),
+		FamiliesFailed:    p.failedFam,
+		StepsProcessed:    s.GroupsProcessed.Value(),
+		StepsFailed:       s.StepsFailed.Value(),
+		TasksResubmitted:  s.TasksResubmitted.Value(),
+		StepsRetried:      p.retried,
+		StepsDeadLettered: p.deadLettered,
+		BytesStaged:       s.BytesStaged.Value(),
+		Elapsed:           elapsed,
 	}, nil
 }
 
@@ -277,7 +334,7 @@ func (p *pump) intakeFamilies() bool {
 func (p *pump) placeFamily(fam family.Family) {
 	home, ok := p.s.Site(fam.Store)
 	if !ok {
-		p.failFamily(fam.ID, "unknown home site "+fam.Store)
+		p.failFamily(fam.ID, "unknown home site "+fam.Store, 0)
 		return
 	}
 	var alternates []scheduler.SiteState
@@ -292,7 +349,7 @@ func (p *pump) placeFamily(fam family.Family) {
 	target, ok := p.s.Site(targetName)
 	if !ok || !target.HasCompute() {
 		// No compute anywhere reachable: the family cannot be processed.
-		p.failFamily(fam.ID, "no compute site for placement")
+		p.failFamily(fam.ID, "no compute site for placement", 0)
 		return
 	}
 
@@ -337,7 +394,7 @@ func (p *pump) placeFamily(fam family.Family) {
 		}
 		p.s.mu.Unlock()
 		if target == nil {
-			p.failFamily(fam.ID, "no staging capacity")
+			p.failFamily(fam.ID, "no staging capacity", 0)
 			return
 		}
 		st.site = target
@@ -357,17 +414,166 @@ func (p *pump) placeFamily(fam family.Family) {
 		Pairs:    pairs,
 	}
 	body, _ := json.Marshal(task)
+	st.prefetchBody = body
+	st.stageAttempts = 1
 	p.s.cfg.PrefetchQueue.Send(body)
 	p.staging[fam.ID] = st
 	p.s.obs.Emitf(p.jobID, obs.EvFamilyStaging, "family=%s dst=%s files=%d",
 		fam.ID, target.Name, len(pairs))
 }
 
-// failFamily abandons a family, recording the reason on the job trace.
-func (p *pump) failFamily(famID, reason string) {
+// failFamily abandons a family: the trace records why, and the job
+// record gets a family-level dead letter so no metadata is lost without
+// an audit entry.
+func (p *pump) failFamily(famID, reason string, attempts int) {
 	p.failedFam++
 	p.s.obsFamiliesFailed.Inc()
+	p.s.obsDeadLetters.With("family").Inc()
+	_ = p.s.cfg.Registry.UpdateJob(p.jobID, func(j *registry.JobRecord) {
+		j.AddDeadLetter(registry.DeadLetter{
+			Kind:     "family",
+			FamilyID: famID,
+			Attempts: attempts,
+			Reason:   reason,
+			At:       p.s.clk.Now(),
+		})
+	})
 	p.s.obs.Emitf(p.jobID, obs.EvFamilyFailed, "family=%s abandoned: %s", famID, reason)
+}
+
+// retryOrDeadLetter routes one failed or lost step: if the step still
+// has attempts left and the job still has retry budget, it is scheduled
+// onto the backoff backlog and true is returned; otherwise the step is
+// quarantined as a dead letter and false is returned. The step must be
+// in the plan's issued set either way (it stays issued while waiting out
+// the backoff, so the plan does not report Done prematurely). cause is a
+// low-cardinality label ("lost", "failed", ...); detail may carry the
+// underlying error text for the trace and dead-letter record.
+func (p *pump) retryOrDeadLetter(st *famState, step scheduler.Step, cause, detail string) bool {
+	reason := cause
+	if detail != "" {
+		reason = cause + ": " + detail
+	}
+	key := stepKey{st.fam.ID, step}
+	p.attempts[key]++
+	n := p.attempts[key]
+	if n < p.s.retry.MaxAttempts && p.budget > 0 {
+		p.budget--
+		p.retried++
+		p.s.StepsRetried.Inc()
+		d := p.s.retry.backoff(st.fam.ID+"/"+step.GroupID+"/"+step.Extractor, n)
+		p.backlog = append(p.backlog, retryItem{
+			at:    p.s.clk.Now().Add(d),
+			famID: st.fam.ID,
+			step:  step,
+		})
+		p.s.obsRetries.With(cause).Inc()
+		p.s.obsRetryBackoff.ObserveDuration(d)
+		p.s.obs.Emitf(p.jobID, obs.EvTaskRetried,
+			"family=%s group=%s extractor=%s attempt=%d backoff=%s cause=%s",
+			st.fam.ID, step.GroupID, step.Extractor, n, d, reason)
+		return true
+	}
+	if n < p.s.retry.MaxAttempts {
+		p.s.obsBudgetExhausted.Inc()
+		reason = "retry budget exhausted: " + reason
+	}
+	p.deadLetterStep(st, step, n, reason)
+	return false
+}
+
+// deadLetterStep quarantines a poison step: its plan entry is marked
+// failed, the job record gets a dead-letter entry, and the family is
+// doomed to fail once its plan drains.
+func (p *pump) deadLetterStep(st *famState, step scheduler.Step, attempts int, cause string) {
+	st.plan.Fail(step)
+	st.deadLettered++
+	p.deadLettered++
+	p.s.StepsFailed.Inc()
+	p.s.obsStepsFailed.Inc()
+	p.s.StepsDeadLettered.Inc()
+	p.s.obsDeadLetters.With("step").Inc()
+	_ = p.s.cfg.Registry.UpdateJob(p.jobID, func(j *registry.JobRecord) {
+		j.AddDeadLetter(registry.DeadLetter{
+			Kind:      "step",
+			FamilyID:  st.fam.ID,
+			GroupID:   step.GroupID,
+			Extractor: step.Extractor,
+			Attempts:  attempts,
+			Reason:    cause,
+			At:        p.s.clk.Now(),
+		})
+	})
+	st.steps = append(st.steps, validate.StepResult{
+		GroupID: step.GroupID, Extractor: step.Extractor,
+		OK: false, Err: "dead-lettered: " + cause,
+	})
+	p.s.obs.Emitf(p.jobID, obs.EvTaskDeadLettered,
+		"family=%s group=%s extractor=%s attempts=%d cause=%s",
+		st.fam.ID, step.GroupID, step.Extractor, attempts, cause)
+}
+
+// retryStagingOrFail re-sends a family's prefetch task after a staging
+// failure, or abandons the family once attempts (or budget) run out. The
+// family stays in p.staging while waiting out the backoff.
+func (p *pump) retryStagingOrFail(st *famState, cause string) {
+	if st.stageAttempts < p.s.retry.MaxAttempts && p.budget > 0 {
+		p.budget--
+		p.retried++
+		p.s.StepsRetried.Inc()
+		d := p.s.retry.backoff(st.fam.ID+"/stage", st.stageAttempts)
+		p.backlog = append(p.backlog, retryItem{
+			at:      p.s.clk.Now().Add(d),
+			famID:   st.fam.ID,
+			staging: true,
+		})
+		p.s.obsRetries.With("staging").Inc()
+		p.s.obsRetryBackoff.ObserveDuration(d)
+		p.s.obs.Emitf(p.jobID, obs.EvTaskRetried,
+			"family=%s staging attempt=%d backoff=%s cause=%s",
+			st.fam.ID, st.stageAttempts, d, cause)
+		return
+	}
+	if st.stageAttempts < p.s.retry.MaxAttempts {
+		p.s.obsBudgetExhausted.Inc()
+		cause = "retry budget exhausted: " + cause
+	}
+	delete(p.staging, st.fam.ID)
+	p.failFamily(st.fam.ID, cause, st.stageAttempts)
+}
+
+// intakeRetries re-dispatches backlog entries whose backoff has elapsed:
+// steps go back to pending and re-bucket; staging entries re-send their
+// prefetch task.
+func (p *pump) intakeRetries() bool {
+	if len(p.backlog) == 0 {
+		return false
+	}
+	now := p.s.clk.Now()
+	rest := p.backlog[:0]
+	progress := false
+	for _, it := range p.backlog {
+		if it.at.After(now) {
+			rest = append(rest, it)
+			continue
+		}
+		progress = true
+		if it.staging {
+			if st, ok := p.staging[it.famID]; ok {
+				st.stageAttempts++
+				p.s.cfg.PrefetchQueue.Send(st.prefetchBody)
+				p.s.obs.Emitf(p.jobID, obs.EvFamilyStaging, "family=%s re-staged attempt=%d",
+					st.fam.ID, st.stageAttempts)
+			}
+			continue
+		}
+		if st, ok := p.states[it.famID]; ok {
+			st.plan.Reset(it.step)
+			p.bucketReadySteps(st)
+		}
+	}
+	p.backlog = rest
+	return progress
 }
 
 // intakeStaged consumes prefetcher results and readies staged families.
@@ -384,8 +590,8 @@ func (p *pump) intakeStaged() bool {
 		}
 		st, ok := p.staging[res.FamilyID]
 		if ok {
-			delete(p.staging, res.FamilyID)
 			if res.OK {
+				delete(p.staging, res.FamilyID)
 				st.xferDur = res.Elapsed
 				p.s.BytesStaged.Add(res.Bytes)
 				p.s.obsBytesStaged.Add(float64(res.Bytes))
@@ -394,7 +600,7 @@ func (p *pump) intakeStaged() bool {
 				p.states[st.fam.ID] = st
 				p.bucketReadySteps(st)
 			} else {
-				p.failFamily(res.FamilyID, "staging failed: "+res.Err)
+				p.retryStagingOrFail(st, "staging failed: "+res.Err)
 			}
 		}
 		_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
@@ -482,12 +688,13 @@ func (p *pump) enqueueTask(site, extractor string, steps []stepPayload) bool {
 		}
 	}
 	if err != nil {
-		// No function for this extractor here: fail the steps.
+		// No function for this extractor here: retry (registration may be
+		// in flight after an endpoint swap) and eventually dead-letter.
 		for _, sp := range steps {
 			if st, ok := p.states[sp.FamilyID]; ok {
-				st.plan.Fail(scheduler.Step{GroupID: sp.GroupID, Extractor: extractor})
-				p.s.StepsFailed.Inc()
-				p.s.obsStepsFailed.Inc()
+				p.retryOrDeadLetter(st,
+					scheduler.Step{GroupID: sp.GroupID, Extractor: extractor},
+					"no_function", err.Error())
 				p.finishIfDone(st)
 			}
 		}
@@ -501,8 +708,10 @@ func (p *pump) enqueueTask(site, extractor string, steps []stepPayload) bool {
 	})
 	var refs []stepRef
 	ep := ""
-	if s, ok := p.s.Site(site); ok && s.Compute != nil {
-		ep = s.Compute.ID
+	if target, ok := p.s.Site(site); ok {
+		if cep := target.ComputeEndpoint(); cep != nil {
+			ep = cep.ID
+		}
 	}
 	for _, sp := range steps {
 		refs = append(refs, stepRef{
@@ -519,13 +728,13 @@ func (p *pump) enqueueTask(site, extractor string, steps []stepPayload) bool {
 func (p *pump) submit() {
 	ids, err := p.s.cfg.FaaS.SubmitBatch(p.reqs)
 	if err != nil {
-		// Submission failure loses the whole batch: reset every step so it
-		// can be re-bucketed.
+		// Submission failure loses the whole batch: retry every step with
+		// backoff (or dead-letter those out of attempts).
 		for _, refs := range p.refs {
 			for _, r := range refs {
 				if st, ok := p.states[r.famID]; ok {
-					st.plan.Reset(r.step)
-					p.bucketReadySteps(st)
+					p.retryOrDeadLetter(st, r.step, "submit_error", err.Error())
+					p.finishIfDone(st)
 				}
 			}
 		}
@@ -574,9 +783,7 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 		if err := json.Unmarshal(info.Result, &result); err != nil {
 			for _, r := range refs {
 				if st, ok := p.states[r.famID]; ok {
-					st.plan.Fail(r.step)
-					p.s.StepsFailed.Inc()
-					p.s.obsStepsFailed.Inc()
+					p.retryOrDeadLetter(st, r.step, "bad_result", err.Error())
 					touched[r.famID] = st
 				}
 			}
@@ -595,11 +802,11 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 				step = refs[i].step
 			}
 			dur := time.Duration(outc.ExtractMS * float64(time.Millisecond))
-			st.steps = append(st.steps, validate.StepResult{
-				GroupID: outc.GroupID, Extractor: step.Extractor,
-				OK: outc.OK, Err: outc.Err, Duration: dur,
-			})
 			if outc.OK {
+				st.steps = append(st.steps, validate.StepResult{
+					GroupID: outc.GroupID, Extractor: step.Extractor,
+					OK: true, Duration: dur,
+				})
 				st.plan.Complete(step, outc.Metadata)
 				st.results[outc.GroupID+"/"+step.Extractor] = outc.Metadata
 				p.s.GroupsProcessed.Inc()
@@ -611,33 +818,37 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 					p.s.TransferDurations.Observe(step.Extractor, st.xferDur)
 				}
 			} else {
-				st.plan.Fail(step)
-				p.s.StepsFailed.Inc()
-				p.s.obsStepsFailed.Inc()
+				// The extractor ran and reported failure; retry in case the
+				// fault was transient, then quarantine.
+				p.retryOrDeadLetter(st, step, "step_error", outc.Err)
 			}
 			touched[outc.FamilyID] = st
 		}
 	case faas.TaskFailed:
-		p.s.obs.Emitf(p.jobID, obs.EvTaskFailed, "task=%s steps=%d", id, len(refs))
+		p.s.obs.Emitf(p.jobID, obs.EvTaskFailed, "task=%s steps=%d err=%s", id, len(refs), info.Err)
 		for _, r := range refs {
 			if st, ok := p.states[r.famID]; ok {
-				st.plan.Fail(r.step)
-				p.s.StepsFailed.Inc()
-				p.s.obsStepsFailed.Inc()
+				p.retryOrDeadLetter(st, r.step, "failed", info.Err)
 				touched[r.famID] = st
 			}
 		}
 	case faas.TaskLost:
-		// Allocation ended: resubmit every family step (Figure 8 restart).
-		p.s.TasksResubmitted.Inc()
-		p.s.obsTasksResubmitted.Inc()
+		// Allocation ended (Figure 8 restart): resubmit with bounded
+		// retry so a permanently dead endpoint cannot loop forever.
 		p.s.obs.Emitf(p.jobID, obs.EvTaskLost, "task=%s steps=%d", id, len(refs))
-		p.s.obs.Emitf(p.jobID, obs.EvTaskResubmitted, "task=%s steps requeued", id)
+		requeued := 0
 		for _, r := range refs {
 			if st, ok := p.states[r.famID]; ok {
-				st.plan.Reset(r.step)
+				if p.retryOrDeadLetter(st, r.step, "lost", info.Err) {
+					requeued++
+				}
 				touched[r.famID] = st
 			}
+		}
+		if requeued > 0 {
+			p.s.TasksResubmitted.Inc()
+			p.s.obsTasksResubmitted.Inc()
+			p.s.obs.Emitf(p.jobID, obs.EvTaskResubmitted, "task=%s steps=%d requeued after backoff", id, requeued)
 		}
 	}
 	for _, st := range touched {
@@ -647,6 +858,8 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 }
 
 // finishIfDone emits the validation record once a family's plan is empty.
+// A family with quarantined steps fails instead: its metadata is
+// incomplete and the job's dead-letter report is the audit trail.
 func (p *pump) finishIfDone(st *famState) {
 	if !st.plan.Done() {
 		return
@@ -655,6 +868,13 @@ func (p *pump) finishIfDone(st *famState) {
 		return
 	}
 	delete(p.states, st.fam.ID)
+	if st.deadLettered > 0 {
+		p.failedFam++
+		p.s.obsFamiliesFailed.Inc()
+		p.s.obs.Emitf(p.jobID, obs.EvFamilyFailed,
+			"family=%s failed: %d steps dead-lettered", st.fam.ID, st.deadLettered)
+		return
+	}
 	files := make([]string, 0, len(st.fam.FileMeta))
 	for f := range st.fam.FileMeta {
 		files = append(files, f)

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"xtract/internal/faultinject"
+)
+
+// DefaultRetryPolicy is the policy applied where Config.Retry leaves
+// fields zero.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	BaseBackoff: 4 * time.Millisecond,
+	MaxBackoff:  500 * time.Millisecond,
+	Multiplier:  2,
+	JitterFrac:  0.2,
+	JobBudget:   512,
+}
+
+// RetryPolicy bounds how lost and failed extraction steps are retried
+// before being quarantined as dead letters. Retries back off
+// exponentially with deterministic (seedable, clock-free) jitter, so a
+// chaos run's retry schedule is reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is how many times one step may execute before it is
+	// dead-lettered (1 = never retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Multiplier is the per-retry backoff growth factor.
+	Multiplier float64
+	// JitterFrac spreads each delay by ±JitterFrac of itself,
+	// decorrelating retry storms after an endpoint loss.
+	JitterFrac float64
+	// JitterSeed drives the deterministic jitter; runs sharing a seed
+	// share a schedule.
+	JitterSeed int64
+	// JobBudget is the total number of retries one job may spend across
+	// all of its steps; exhausting it dead-letters subsequent failures
+	// immediately.
+	JobBudget int
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy
+	if r.MaxAttempts > 0 {
+		d.MaxAttempts = r.MaxAttempts
+	}
+	if r.BaseBackoff > 0 {
+		d.BaseBackoff = r.BaseBackoff
+	}
+	if r.MaxBackoff > 0 {
+		d.MaxBackoff = r.MaxBackoff
+	}
+	if r.Multiplier > 1 {
+		d.Multiplier = r.Multiplier
+	}
+	if r.JitterFrac > 0 {
+		d.JitterFrac = r.JitterFrac
+	}
+	if r.JobBudget > 0 {
+		d.JobBudget = r.JobBudget
+	}
+	d.JitterSeed = r.JitterSeed
+	return d
+}
+
+// backoff returns the delay before retry n (1-based) of the given step
+// key: BaseBackoff·Multiplier^(n-1), capped at MaxBackoff, with
+// deterministic hash jitter in place of a PRNG draw.
+func (r RetryPolicy) backoff(key string, n int) time.Duration {
+	d := float64(r.BaseBackoff)
+	for i := 1; i < n && d < float64(r.MaxBackoff); i++ {
+		d *= r.Multiplier
+	}
+	if d > float64(r.MaxBackoff) {
+		d = float64(r.MaxBackoff)
+	}
+	if r.JitterFrac > 0 {
+		u := faultinject.Hash01(r.JitterSeed, "retry_jitter", key, uint64(n))
+		d *= 1 + r.JitterFrac*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

@@ -58,6 +58,27 @@ type Site struct {
 	StageCapacityBytes int64
 
 	stagedBytes int64 // reserved staging bytes (pump-thread only)
+
+	// mu guards Compute once the site is registered: jobs read the
+	// endpoint while Service.SwapCompute may replace it after an
+	// allocation loss.
+	mu sync.Mutex
+}
+
+// ComputeEndpoint returns the site's current compute endpoint (nil for
+// storage-only sites). Use this instead of reading Compute directly once
+// the site is registered.
+func (s *Site) ComputeEndpoint() *faas.Endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Compute
+}
+
+// setCompute replaces the site's compute endpoint.
+func (s *Site) setCompute(ep *faas.Endpoint) {
+	s.mu.Lock()
+	s.Compute = ep
+	s.mu.Unlock()
 }
 
 // reserveStage reserves n staging bytes, reporting whether they fit.
@@ -80,14 +101,15 @@ func (s *Site) excludes(name string) bool {
 }
 
 // HasCompute reports whether the site can execute extractors.
-func (s *Site) HasCompute() bool { return s.Compute != nil }
+func (s *Site) HasCompute() bool { return s.ComputeEndpoint() != nil }
 
 // state returns the scheduler's placement snapshot.
 func (s *Site) state() scheduler.SiteState {
-	st := scheduler.SiteState{Name: s.Name, HasCompute: s.HasCompute()}
-	if s.Compute != nil {
-		st.Workers = s.Compute.Workers
-		st.QueueDepth = s.Compute.QueueDepth()
+	ep := s.ComputeEndpoint()
+	st := scheduler.SiteState{Name: s.Name, HasCompute: ep != nil}
+	if ep != nil {
+		st.Workers = ep.Workers
+		st.QueueDepth = ep.QueueDepth()
 	}
 	return st
 }
@@ -117,6 +139,13 @@ type Config struct {
 	// Obs is the runtime observability layer (nil disables live metrics
 	// and per-job event traces at near-zero cost).
 	Obs *obs.Observer
+	// Retry bounds per-step retry/backoff and the per-job retry budget
+	// applied to lost and failed extraction steps; zero fields take the
+	// DefaultRetryPolicy values.
+	Retry RetryPolicy
+	// ExtractFaults, when set, injects extractor failures and panics into
+	// step execution (chaos testing; internal/faultinject satisfies it).
+	ExtractFaults extractors.FaultHook
 }
 
 // Service is the Xtract orchestrator.
@@ -136,11 +165,16 @@ type Service struct {
 	// and examples use smaller values).
 	ColdStartCost time.Duration
 
-	GroupsProcessed  metrics.Counter
-	FamiliesDone     metrics.Counter
-	StepsFailed      metrics.Counter
-	TasksResubmitted metrics.Counter
-	BytesStaged      metrics.Counter
+	// retry is cfg.Retry with defaults applied.
+	retry RetryPolicy
+
+	GroupsProcessed   metrics.Counter
+	FamiliesDone      metrics.Counter
+	StepsFailed       metrics.Counter
+	TasksResubmitted  metrics.Counter
+	BytesStaged       metrics.Counter
+	StepsRetried      metrics.Counter
+	StepsDeadLettered metrics.Counter
 	// Throughput records one point per completed group for Figure 8.
 	Throughput metrics.TimeSeries
 	// StepDurations records per-extractor execution times (Table 3).
@@ -158,6 +192,10 @@ type Service struct {
 	obsStepsFailed      *obs.Counter
 	obsTasksResubmitted *obs.Counter
 	obsBytesStaged      *obs.Counter
+	obsRetries          *obs.CounterVec
+	obsRetryBackoff     *obs.Histogram
+	obsDeadLetters      *obs.CounterVec
+	obsBudgetExhausted  *obs.Counter
 	obsStepDuration     *obs.HistogramVec
 	obsCrawlDirs        *obs.Counter
 	obsCrawlFiles       *obs.Counter
@@ -189,6 +227,7 @@ func New(cfg Config) *Service {
 		StepDurations:     metrics.NewBreakdown(),
 		TransferDurations: metrics.NewBreakdown(),
 		obs:               cfg.Obs,
+		retry:             cfg.Retry.withDefaults(),
 	}
 	reg := cfg.Obs.Reg()
 	s.obsJobs = reg.CounterVec("xtract_jobs_total",
@@ -207,6 +246,14 @@ func New(cfg Config) *Service {
 		"FaaS tasks resubmitted after being lost.")
 	s.obsBytesStaged = reg.Counter("xtract_bytes_staged_total",
 		"Bytes staged to remote compute sites by the prefetcher.")
+	s.obsRetries = reg.CounterVec("xtract_retry_total",
+		"Step retries scheduled, by failure cause.", "reason")
+	s.obsRetryBackoff = reg.Histogram("xtract_retry_backoff_seconds",
+		"Backoff delays scheduled before step retries.", nil)
+	s.obsDeadLetters = reg.CounterVec("xtract_deadletter_total",
+		"Poison tasks quarantined after exhausting their retries.", "kind")
+	s.obsBudgetExhausted = reg.Counter("xtract_retry_budget_exhausted_total",
+		"Retries denied because the per-job retry budget was spent.")
 	s.obsStepDuration = reg.HistogramVec("xtract_step_duration_seconds",
 		"Extractor execution time per step.", nil, "extractor")
 	s.obsCrawlDirs = reg.Counter("xtract_crawl_dirs_listed_total",
@@ -281,7 +328,8 @@ func (s *Service) RegisterExtractors() error {
 
 		var endpointIDs []string
 		for _, site := range sites {
-			if !site.HasCompute() || site.excludes(name) {
+			ep := site.ComputeEndpoint()
+			if ep == nil || site.excludes(name) {
 				continue
 			}
 			handler := s.makeHandler(site, ext)
@@ -293,7 +341,7 @@ func (s *Service) RegisterExtractors() error {
 			s.mu.Lock()
 			s.functions[[2]string{name, site.Name}] = fid
 			s.mu.Unlock()
-			endpointIDs = append(endpointIDs, site.Compute.ID)
+			endpointIDs = append(endpointIDs, ep.ID)
 		}
 		s.cfg.Registry.PutExtractor(registry.ExtractorRecord{
 			Name:        name,
@@ -302,6 +350,23 @@ func (s *Service) RegisterExtractors() error {
 			EndpointIDs: endpointIDs,
 		})
 	}
+	return nil
+}
+
+// SwapCompute replaces a site's compute endpoint, e.g. after its
+// allocation was lost and a replacement was provisioned. The new endpoint
+// must already be registered and started on the FaaS service; call
+// RegisterExtractors again afterwards so extractor functions resolve to
+// it. Safe to call while jobs are running — in-flight tasks on the old
+// endpoint surface as LOST and are retried onto the new one.
+func (s *Service) SwapCompute(siteName string, ep *faas.Endpoint) error {
+	s.mu.Lock()
+	site, ok := s.sites[siteName]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown site %q", siteName)
+	}
+	site.setCompute(ep)
 	return nil
 }
 

@@ -29,6 +29,17 @@ const SuggestKey = "xtract.suggest"
 // cannot process.
 var ErrNotApplicable = errors.New("extractors: not applicable to this content")
 
+// FaultHook injects extractor failures for chaos testing.
+// internal/faultinject satisfies it structurally; a nil hook is a no-op.
+// The extraction runner (internal/core's step handler) consults it before
+// invoking the extractor.
+type FaultHook interface {
+	// ExtractFault is consulted once per step execution. panics=true
+	// makes the runner panic mid-step (exercising worker panic
+	// recovery); a non-nil err fails the step before the extractor runs.
+	ExtractFault(extractor, groupID string) (panics bool, err error)
+}
+
 // Extractor is a metadata extractor function: it processes a group of
 // file contents and returns a metadata dictionary.
 type Extractor interface {

@@ -232,7 +232,7 @@ func (e *Endpoint) execute(ctx context.Context, item *dispatchItem) {
 	e.containers.Acquire(fn.container)
 	e.clk.Sleep(e.ExecOverheadPerTask)
 	start := e.clk.Now()
-	result, err := fn.handler(ctx, payload)
+	result, err := e.runHandler(ctx, fn, payload)
 	e.BusyTime.ObserveDuration(e.clk.Since(start))
 	e.containers.Release(fn.container)
 
@@ -242,13 +242,37 @@ func (e *Endpoint) execute(ctx context.Context, item *dispatchItem) {
 	e.svc.taskFinished(t, result, err)
 }
 
+// runHandler invokes the function handler, converting a panic into a
+// TaskFailed-style error so one poisoned payload cannot take down the
+// worker (let alone the process).
+func (e *Endpoint) runHandler(ctx context.Context, fn *function, payload []byte) (result []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("faas: handler panic on endpoint %s: %v", e.ID, r)
+			e.svc.panicRecovered()
+		}
+	}()
+	return fn.handler(ctx, payload)
+}
+
 func (e *Endpoint) heartbeatLoop(ctx context.Context) {
 	interval := e.svc.HeartbeatTimeout / 3
 	if interval <= 0 {
 		interval = time.Second
 	}
 	for {
-		e.svc.heartbeat(e.ID)
+		drop := false
+		if h := e.svc.faultHook(); h != nil {
+			if h.EndpointCrash(e.ID) {
+				e.Stop()
+				return
+			}
+			drop = h.HeartbeatDrop(e.ID)
+		}
+		if !drop {
+			e.svc.heartbeat(e.ID)
+		}
 		select {
 		case <-ctx.Done():
 			return

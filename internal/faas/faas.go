@@ -31,6 +31,19 @@ var (
 // bytes (Xtract serializes family batches into them); results likewise.
 type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
+// FaultHook injects failures into the fabric for chaos testing.
+// internal/faultinject satisfies it structurally; a nil hook is a no-op.
+type FaultHook interface {
+	// DispatchFault may fail the service→endpoint delivery of one task;
+	// a non-nil error marks the task lost without reaching the endpoint.
+	DispatchFault(endpointID string) error
+	// HeartbeatDrop silences one heartbeat tick of the endpoint.
+	HeartbeatDrop(endpointID string) bool
+	// EndpointCrash stops the endpoint at a heartbeat tick, simulating
+	// an allocation ending mid-run.
+	EndpointCrash(endpointID string) bool
+}
+
 // TaskStatus is the lifecycle state of a submitted task.
 type TaskStatus int
 
@@ -151,9 +164,13 @@ type Service struct {
 	HeartbeatTimeout time.Duration
 	lastHeartbeat    map[string]time.Time
 
+	// faults, when set, injects dispatch/heartbeat/crash failures.
+	faults FaultHook
+
 	TasksSubmitted metrics.Counter
 	TasksCompleted metrics.Counter
 	TasksLost      metrics.Counter
+	HandlerPanics  metrics.Counter
 
 	// Observability handles (nil-safe when Instrument is never called).
 	obsReg         *obs.Registry
@@ -165,6 +182,21 @@ type Service struct {
 	obsColdStarts  *obs.Counter
 	obsColdStart   *obs.Histogram
 	obsWarmHits    *obs.Counter
+	obsPanics      *obs.Counter
+}
+
+// SetFaults installs (or clears, with nil) the fabric's fault hook.
+func (s *Service) SetFaults(h FaultHook) {
+	s.mu.Lock()
+	s.faults = h
+	s.mu.Unlock()
+}
+
+// faultHook reads the installed hook; nil means no injection.
+func (s *Service) faultHook() FaultHook {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
 }
 
 // NewService returns an empty service with the given control-plane costs.
@@ -206,6 +238,8 @@ func (s *Service) Instrument(reg *obs.Registry) {
 		"Container cold-start durations.", nil)
 	s.obsWarmHits = reg.Counter("xtract_faas_warm_hits_total",
 		"Container acquisitions served from the warm pool.")
+	s.obsPanics = reg.Counter("xtract_faas_handler_panics_total",
+		"Handler panics recovered by endpoint workers.")
 	s.mu.Lock()
 	s.obsReg = reg
 	eps := make([]*Endpoint, 0, len(s.endpoints))
@@ -334,9 +368,17 @@ func (s *Service) SubmitBatch(reqs []TaskRequest) ([]string, error) {
 
 	s.TasksSubmitted.Add(int64(len(reqs)))
 	s.obsSubmitted.Add(float64(len(reqs)))
+	faults := s.faultHook()
 	for _, r := range byEP {
 		for i, t := range r.tasks {
-			if err := r.ep.enqueue(t, r.fns[i], s.costs.DispatchPerTask); err != nil {
+			var err error
+			if faults != nil {
+				err = faults.DispatchFault(r.ep.ID)
+			}
+			if err == nil {
+				err = r.ep.enqueue(t, r.fns[i], s.costs.DispatchPerTask)
+			}
+			if err != nil {
 				t.mu.Lock()
 				t.info.Err = err.Error()
 				t.mu.Unlock()
@@ -400,6 +442,12 @@ func (s *Service) Wait(id string) (TaskInfo, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.info, nil
+}
+
+// panicRecovered counts one recovered handler panic.
+func (s *Service) panicRecovered() {
+	s.HandlerPanics.Inc()
+	s.obsPanics.Inc()
 }
 
 // heartbeat records endpoint liveness.

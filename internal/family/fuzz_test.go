@@ -1,0 +1,125 @@
+package family
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// groupsFromBytes derives a deterministic group set from fuzz input: each
+// group draws 1–4 files from a 16-file pool, so groups overlap often and
+// the co-occurrence graph gets interesting components.
+func groupsFromBytes(data []byte) []Group {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0])%8 + 1
+	pos := 1
+	next := func() byte {
+		if pos >= len(data) {
+			pos = 1 // wrap, keeping the derivation total
+		}
+		if len(data) <= 1 {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	groups := make([]Group, 0, n)
+	for i := 0; i < n; i++ {
+		nf := int(next())%4 + 1
+		seen := map[string]bool{}
+		var files []string
+		for j := 0; j < nf; j++ {
+			f := fmt.Sprintf("/pool/f%02d", int(next())%16)
+			if !seen[f] {
+				seen[f] = true
+				files = append(files, f)
+			}
+		}
+		groups = append(groups, Group{
+			ID:        fmt.Sprintf("g%d", i),
+			Files:     files,
+			Extractor: "keyword",
+		})
+	}
+	return groups
+}
+
+// FuzzMinTransfers checks the packaging invariants of the min-cut family
+// builder for arbitrary group shapes: same-seed determinism, every group
+// in exactly one family, file ownership unique across families, and no
+// empty families.
+func FuzzMinTransfers(f *testing.F) {
+	f.Add([]byte{3, 2, 0, 1, 3, 1, 4, 2, 5}, int64(1), 4)
+	f.Add([]byte{8, 1, 1, 1, 1, 1, 1}, int64(7), 2)
+	f.Add([]byte{1, 0}, int64(0), 1)
+	f.Add([]byte{7, 200, 13, 99, 4, 4, 4, 250, 9}, int64(42), 3)
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, maxSize int) {
+		groups := groupsFromBytes(data)
+		if maxSize < 0 {
+			maxSize = -maxSize
+		}
+		maxSize = maxSize%8 + 1
+
+		run := func() []Family {
+			return MinTransfersN(groups, maxSize, 3, rand.New(rand.NewSource(seed)))
+		}
+		fams := run()
+
+		// Determinism: the same seed reproduces the same packaging.
+		if again := run(); !reflect.DeepEqual(fams, again) {
+			t.Fatalf("MinTransfersN not deterministic for seed %d", seed)
+		}
+
+		// Every group lands in exactly one family.
+		assigned := map[string]int{}
+		for _, fam := range fams {
+			if len(fam.Groups) == 0 {
+				t.Fatalf("family %s has no groups", fam.ID)
+			}
+			for _, g := range fam.Groups {
+				assigned[g.ID]++
+			}
+		}
+		for _, g := range groups {
+			if assigned[g.ID] != 1 {
+				t.Fatalf("group %s assigned to %d families, want 1", g.ID, assigned[g.ID])
+			}
+		}
+		if len(assigned) != len(groups) {
+			t.Fatalf("assigned %d distinct groups, input had %d", len(assigned), len(groups))
+		}
+
+		// File ownership is a partition: no file is listed by two
+		// families, and no family lists a file twice.
+		owner := map[string]string{}
+		for _, fam := range fams {
+			seen := map[string]bool{}
+			for _, file := range fam.Files {
+				if seen[file] {
+					t.Fatalf("family %s lists %s twice", fam.ID, file)
+				}
+				seen[file] = true
+				if prev, ok := owner[file]; ok {
+					t.Fatalf("file %s owned by both %s and %s", file, prev, fam.ID)
+				}
+				owner[file] = fam.ID
+			}
+		}
+
+		// Every input file is owned by some surviving family, unless its
+		// every group voted into a family that kept the file elsewhere —
+		// ownership loss would mean transfer planning misses the file.
+		// (Files of dropped, group-less families are the only exception.)
+		for _, g := range groups {
+			for _, file := range g.Files {
+				if _, ok := owner[file]; !ok {
+					t.Fatalf("file %s (group %s) owned by no family", file, g.ID)
+				}
+			}
+		}
+	})
+}

@@ -229,8 +229,11 @@ func cutWeight(g *Graph, a, b []int) int {
 // their files (files falling in other families are the residual redundant
 // transfers).
 //
-// maxSize is the user-configurable maximum family size s > 0. rng drives
-// the randomized cuts; pass a seeded rand.Rand for reproducibility.
+// maxSize is the user-configurable maximum family size s > 0, applied
+// best-effort: unsplittable components and files stranded by a cut (which
+// fold back into the family owning their group, preserving group
+// atomicity) may exceed it. rng drives the randomized cuts; pass a seeded
+// rand.Rand for reproducibility.
 func MinTransfers(groups []Group, maxSize int, rng *rand.Rand) []Family {
 	return MinTransfersN(groups, maxSize, 1, rng)
 }
@@ -296,6 +299,7 @@ func MinTransfersN(groups []Group, maxSize, trials int, rng *rand.Rand) []Family
 	for i, f := range g.Nodes {
 		nodeIdx[f] = i
 	}
+	groupFam := make(map[string]int, len(groups)) // group ID -> family index
 	for _, grp := range groups {
 		votes := make(map[int]int)
 		for _, f := range grp.Files {
@@ -309,11 +313,36 @@ func MinTransfersN(groups []Group, maxSize, trials int, rng *rand.Rand) []Family
 		}
 		if bestVotes >= 0 {
 			families[best].Groups = append(families[best].Groups, grp)
+			groupFam[grp.ID] = best
 		}
 	}
-	// Drop families that ended up with no groups (possible when a cut
-	// strands files whose every group voted elsewhere) after folding their
-	// files into Files of the group-owning families via group membership.
+	// A cut can strand files in a family whose every group voted
+	// elsewhere, leaving it group-less. Fold each stranded file into the
+	// family that won the first group referencing it, then drop the empty
+	// shells: every file stays owned by exactly one surviving family, so
+	// transfer planning never silently misses one.
+	fileTarget := make(map[string]int, len(g.Nodes))
+	for _, grp := range groups {
+		fi, ok := groupFam[grp.ID]
+		if !ok {
+			continue
+		}
+		for _, f := range grp.Files {
+			if _, claimed := fileTarget[f]; !claimed {
+				fileTarget[f] = fi
+			}
+		}
+	}
+	for fi := range families {
+		if len(families[fi].Groups) > 0 {
+			continue
+		}
+		for _, file := range families[fi].Files {
+			if ti, ok := fileTarget[file]; ok {
+				families[ti].Files = append(families[ti].Files, file)
+			}
+		}
+	}
 	out := families[:0]
 	for _, fam := range families {
 		if len(fam.Groups) > 0 {

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries: a value exactly at a bucket's upper
+// bound belongs in that bucket ("le" is ≤), and every line is cumulative.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets []float64
+		value   float64
+		// want maps each rendered le bound to the expected cumulative
+		// count after observing value once.
+		want map[string]uint64
+	}{
+		{
+			name:    "below first bound",
+			buckets: []float64{1, 5, 10},
+			value:   0.5,
+			want:    map[string]uint64{"1": 1, "5": 1, "10": 1, "+Inf": 1},
+		},
+		{
+			name:    "exactly at first bound",
+			buckets: []float64{1, 5, 10},
+			value:   1,
+			want:    map[string]uint64{"1": 1, "5": 1, "10": 1, "+Inf": 1},
+		},
+		{
+			name:    "exactly at middle bound",
+			buckets: []float64{1, 5, 10},
+			value:   5,
+			want:    map[string]uint64{"1": 0, "5": 1, "10": 1, "+Inf": 1},
+		},
+		{
+			name:    "just above middle bound",
+			buckets: []float64{1, 5, 10},
+			value:   5.000001,
+			want:    map[string]uint64{"1": 0, "5": 0, "10": 1, "+Inf": 1},
+		},
+		{
+			name:    "exactly at last bound",
+			buckets: []float64{1, 5, 10},
+			value:   10,
+			want:    map[string]uint64{"1": 0, "5": 0, "10": 1, "+Inf": 1},
+		},
+		{
+			name:    "above last bound",
+			buckets: []float64{1, 5, 10},
+			value:   11,
+			want:    map[string]uint64{"1": 0, "5": 0, "10": 0, "+Inf": 1},
+		},
+		{
+			name:    "zero with zero bound",
+			buckets: []float64{0, 2},
+			value:   0,
+			want:    map[string]uint64{"0": 1, "2": 1, "+Inf": 1},
+		},
+		{
+			name:    "negative value",
+			buckets: []float64{0, 2},
+			value:   -3,
+			want:    map[string]uint64{"0": 1, "2": 1, "+Inf": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			h := reg.Histogram("h_test", "test", tc.buckets)
+			h.Observe(tc.value)
+			lines := renderLines(t, reg)
+			for le, want := range tc.want {
+				needle := `h_test_bucket{le="` + le + `"} `
+				got, ok := findValue(lines, needle)
+				if !ok {
+					t.Fatalf("no bucket line for le=%q in:\n%s", le, strings.Join(lines, "\n"))
+				}
+				if got != formatUint(want) {
+					t.Errorf("le=%q cumulative = %s, want %d", le, got, want)
+				}
+			}
+			if _, ok := findValue(lines, "h_test_count "); !ok {
+				t.Error("missing _count line")
+			}
+		})
+	}
+}
+
+func renderLines(t *testing.T, reg *Registry) []string {
+	t.Helper()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	return strings.Split(b.String(), "\n")
+}
+
+func findValue(lines []string, prefix string) (string, bool) {
+	for _, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			return strings.TrimPrefix(l, prefix), true
+		}
+	}
+	return "", false
+}
+
+func formatUint(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+// TestPrometheusLabelEscaping: label values containing backslashes,
+// quotes, and newlines render escaped per the text exposition format, so
+// a hostile extractor name cannot corrupt the /metrics payload.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // the escaped form expected inside the quotes
+	}{
+		{name: "plain", value: "keyword", want: `keyword`},
+		{name: "double quote", value: `say "hi"`, want: `say \"hi\"`},
+		{name: "backslash", value: `c:\tmp`, want: `c:\\tmp`},
+		{name: "newline", value: "line1\nline2", want: `line1\nline2`},
+		{name: "backslash then quote", value: `\"`, want: `\\\"`},
+		{name: "all three", value: "a\\b\"c\nd", want: `a\\b\"c\nd`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			reg.CounterVec("c_test", "test", "extractor").With(tc.value).Inc()
+			var b strings.Builder
+			reg.WritePrometheus(&b)
+			text := b.String()
+			needle := `c_test{extractor="` + tc.want + `"} 1`
+			if !strings.Contains(text, needle) {
+				t.Fatalf("exposition missing %q:\n%s", needle, text)
+			}
+			// The rendered line must stay a single line: the raw newline
+			// must not survive into the output.
+			for _, l := range strings.Split(text, "\n") {
+				if strings.HasPrefix(l, "c_test{") && !strings.HasSuffix(l, " 1") {
+					t.Fatalf("label value broke the line: %q", l)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramVecBoundarySharing: every label combination of a
+// HistogramVec shares the family's bucket layout.
+func TestHistogramVecBoundarySharing(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("hv_test", "test", []float64{1, 2}, "site")
+	hv.With("a").Observe(1) // at bound: in le=1
+	hv.With("b").Observe(2) // at bound: in le=2, not le=1
+	lines := renderLines(t, reg)
+	checks := map[string]string{
+		`hv_test_bucket{site="a",le="1"} `: "1",
+		`hv_test_bucket{site="a",le="2"} `: "1",
+		`hv_test_bucket{site="b",le="1"} `: "0",
+		`hv_test_bucket{site="b",le="2"} `: "1",
+	}
+	for needle, want := range checks {
+		got, ok := findValue(lines, needle)
+		if !ok {
+			t.Fatalf("missing %q in:\n%s", needle, strings.Join(lines, "\n"))
+		}
+		if got != want {
+			t.Errorf("%s= %s, want %s", needle, got, want)
+		}
+	}
+}

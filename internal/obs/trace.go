@@ -12,23 +12,25 @@ import (
 // The tracer accepts arbitrary strings; these constants keep producers
 // and the API documentation in sync.
 const (
-	EvJobSubmitted    = "job_submitted"
-	EvCrawlStarted    = "crawl_started"
-	EvCrawlFinished   = "crawl_finished"
-	EvFamilyEnqueued  = "family_enqueued"
-	EvFamilyStaging   = "family_staging"
-	EvFamilyStaged    = "family_staged"
-	EvBatchDispatched = "batch_dispatched"
-	EvTaskCompleted   = "task_completed"
-	EvTaskFailed      = "task_failed"
-	EvTaskLost        = "task_lost"
-	EvTaskResubmitted = "task_resubmitted"
-	EvFamilyDone      = "family_done"
-	EvFamilyFailed    = "family_failed"
-	EvFamilyValidated = "family_validated"
-	EvJobCompleted    = "job_completed"
-	EvJobFailed       = "job_failed"
-	EvJobCancelled    = "job_cancelled"
+	EvJobSubmitted     = "job_submitted"
+	EvCrawlStarted     = "crawl_started"
+	EvCrawlFinished    = "crawl_finished"
+	EvFamilyEnqueued   = "family_enqueued"
+	EvFamilyStaging    = "family_staging"
+	EvFamilyStaged     = "family_staged"
+	EvBatchDispatched  = "batch_dispatched"
+	EvTaskCompleted    = "task_completed"
+	EvTaskFailed       = "task_failed"
+	EvTaskLost         = "task_lost"
+	EvTaskResubmitted  = "task_resubmitted"
+	EvTaskRetried      = "task_retried"
+	EvTaskDeadLettered = "task_dead_lettered"
+	EvFamilyDone       = "family_done"
+	EvFamilyFailed     = "family_failed"
+	EvFamilyValidated  = "family_validated"
+	EvJobCompleted     = "job_completed"
+	EvJobFailed        = "job_failed"
+	EvJobCancelled     = "job_cancelled"
 )
 
 // Event is one entry in a job's trace.

@@ -1,0 +1,69 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/faultinject"
+)
+
+func TestInjectedReceiveFaultDelaysButNeverLoses(t *testing.T) {
+	q := New("chaos-q", clock.NewReal())
+	q.SetFaults(faultinject.New(faultinject.Config{
+		Seed:      1,
+		QueueDrop: faultinject.Rule{Prob: 1, Max: 2},
+	}))
+	id := q.Send([]byte("payload"))
+
+	// The first two delivering polls are suppressed — an empty long poll,
+	// not message loss: the message stays visible.
+	for i := 0; i < 2; i++ {
+		if msgs := q.Receive(10, time.Minute); len(msgs) != 0 {
+			t.Fatalf("poll %d delivered %d messages despite injected drop", i, len(msgs))
+		}
+		if q.Len() != 1 {
+			t.Fatalf("poll %d: queue len = %d, message was lost", i, q.Len())
+		}
+	}
+	// Budget spent: the third poll delivers, with a first-delivery count.
+	msgs := q.Receive(10, time.Minute)
+	if len(msgs) != 1 || msgs[0].ID != id {
+		t.Fatalf("post-budget receive = %+v", msgs)
+	}
+	if msgs[0].Deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1 (drops are not deliveries)", msgs[0].Deliveries)
+	}
+	if string(msgs[0].Body) != "payload" {
+		t.Fatalf("body = %q", msgs[0].Body)
+	}
+	if err := q.Delete(msgs[0].Receipt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiveFaultNotConsultedOnEmptyQueue(t *testing.T) {
+	// Empty polls never consult the hook, so every fired fault suppresses
+	// a real delivery (keeps Max budgets meaningful).
+	inj := faultinject.New(faultinject.Config{
+		Seed:      1,
+		QueueDrop: faultinject.Rule{Prob: 1, Max: 1},
+	})
+	q := New("chaos-q", clock.NewReal())
+	q.SetFaults(inj)
+	for i := 0; i < 5; i++ {
+		if msgs := q.Receive(10, time.Minute); len(msgs) != 0 {
+			t.Fatal("received from empty queue")
+		}
+	}
+	if inj.TotalFired() != 0 {
+		t.Fatalf("hook fired %d times on empty polls", inj.TotalFired())
+	}
+	q.Send([]byte("x"))
+	if msgs := q.Receive(10, time.Minute); len(msgs) != 0 {
+		t.Fatal("first delivering poll should have been suppressed")
+	}
+	if inj.TotalFired() != 1 {
+		t.Fatalf("fired = %d, want 1", inj.TotalFired())
+	}
+}

@@ -19,6 +19,14 @@ import (
 // not correspond to an in-flight message.
 var ErrUnknownReceipt = errors.New("queue: unknown receipt handle")
 
+// FaultHook injects delivery failures for chaos testing.
+// internal/faultinject satisfies it structurally; a nil hook is a no-op.
+type FaultHook interface {
+	// ReceiveFault makes one Receive call deliver nothing. Messages stay
+	// visible, so this models a dropped/empty SQS long poll, not loss.
+	ReceiveFault(queue string) bool
+}
+
 // Message is a received queue message. Receipt must be passed to Delete
 // to acknowledge it; if not deleted before the visibility timeout elapses
 // the message is redelivered.
@@ -51,6 +59,14 @@ type Queue struct {
 	seq      int64
 	sent     int64
 	deleted  int64
+	faults   FaultHook
+}
+
+// SetFaults installs (or clears, with nil) the queue's fault hook.
+func (q *Queue) SetFaults(h FaultHook) {
+	q.mu.Lock()
+	q.faults = h
+	q.mu.Unlock()
 }
 
 // New returns an empty queue named name using clk for visibility expiry.
@@ -123,6 +139,11 @@ func (q *Queue) Receive(max int, visibility time.Duration) []Message {
 		n = len(q.visible)
 	}
 	if n == 0 {
+		return nil
+	}
+	// Consult the fault hook only for polls that would deliver, so every
+	// fired fault suppresses a real delivery (messages stay visible).
+	if q.faults != nil && q.faults.ReceiveFault(q.name) {
 		return nil
 	}
 	now := q.clk.Now()

@@ -61,6 +61,25 @@ func (s JobState) Terminal() bool {
 	return s == JobComplete || s == JobFailed || s == JobCancelled
 }
 
+// MaxDeadLetters bounds the dead-letter list retained on a job record;
+// quarantines past the cap are counted in DeadLettersDropped instead.
+const MaxDeadLetters = 256
+
+// DeadLetter records one poison task (or whole family) quarantined after
+// exhausting its retry budget. It is the job's audit trail for the
+// "FAILED with a dead-letter report, never hung" convergence guarantee.
+type DeadLetter struct {
+	// Kind is "step" for a single extractor step or "family" when a
+	// whole family was abandoned (e.g. staging could not complete).
+	Kind      string    `json:"kind"`
+	FamilyID  string    `json:"family_id"`
+	GroupID   string    `json:"group_id,omitempty"`
+	Extractor string    `json:"extractor,omitempty"`
+	Attempts  int       `json:"attempts"`
+	Reason    string    `json:"reason"`
+	At        time.Time `json:"at"`
+}
+
 // JobRecord is the persisted state of one extraction job.
 type JobRecord struct {
 	ID            string    `json:"id"`
@@ -70,6 +89,25 @@ type JobRecord struct {
 	GroupsCrawled int64     `json:"groups_crawled"`
 	GroupsDone    int64     `json:"groups_done"`
 	Err           string    `json:"err,omitempty"`
+	// DeadLetters lists quarantined poison tasks, capped at
+	// MaxDeadLetters entries.
+	DeadLetters []DeadLetter `json:"dead_letters,omitempty"`
+	// DeadLettersDropped counts quarantines beyond the cap.
+	DeadLettersDropped int64 `json:"dead_letters_dropped,omitempty"`
+}
+
+// AddDeadLetter appends a quarantine record, enforcing MaxDeadLetters.
+// Call it from within Registry.UpdateJob.
+func (r *JobRecord) AddDeadLetter(dl DeadLetter) {
+	if len(r.DeadLetters) >= MaxDeadLetters {
+		r.DeadLettersDropped++
+		return
+	}
+	// Copy-on-append so record copies handed out by Job()/Jobs() never
+	// share a backing array with later mutations.
+	letters := make([]DeadLetter, len(r.DeadLetters), len(r.DeadLetters)+1)
+	copy(letters, r.DeadLetters)
+	r.DeadLetters = append(letters, dl)
 }
 
 // Registry is the record store. Safe for concurrent use.

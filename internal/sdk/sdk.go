@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xtract/internal/api"
+	"xtract/internal/clock"
 	"xtract/internal/obs"
 )
 
@@ -76,6 +77,17 @@ type XtractClient struct {
 	// HTTPClient may be overridden for testing; defaults to a client
 	// with a 30 s timeout.
 	HTTPClient *http.Client
+	// Clock drives WaitJob's polling; nil selects the wall clock.
+	// Injecting a fake clock lets tests step through poll cycles.
+	Clock clock.Clock
+}
+
+// clk returns the client's clock, defaulting to the wall clock.
+func (c *XtractClient) clk() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.NewReal()
 }
 
 // New returns a client for the service at baseURL.
@@ -163,7 +175,8 @@ func (c *XtractClient) GetExtractStatus(jobID string) (int64, error) {
 
 // WaitJob polls until the job completes or the timeout elapses.
 func (c *XtractClient) WaitJob(jobID string, poll, timeout time.Duration) (api.JobStatus, error) {
-	deadline := time.Now().Add(timeout)
+	clk := c.clk()
+	deadline := clk.Now().Add(timeout)
 	for {
 		st, err := c.JobStatus(jobID)
 		if err != nil {
@@ -172,10 +185,10 @@ func (c *XtractClient) WaitJob(jobID string, poll, timeout time.Duration) (api.J
 		if st.Complete {
 			return st, nil
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return st, fmt.Errorf("sdk: job %s did not complete within %v", jobID, timeout)
 		}
-		time.Sleep(poll)
+		clk.Sleep(poll)
 	}
 }
 

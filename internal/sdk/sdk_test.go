@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xtract/internal/api"
+	"xtract/internal/clock"
 )
 
 // canned starts a server returning fixed JSON per path.
@@ -89,5 +90,38 @@ func TestServerUnreachable(t *testing.T) {
 	c.HTTPClient = &http.Client{Timeout: 100 * time.Millisecond}
 	if _, err := c.Sites(); err == nil {
 		t.Fatal("unreachable server returned success")
+	}
+}
+
+func TestWaitJobFakeClock(t *testing.T) {
+	// WaitJob's polling runs entirely on the injected clock: with a Fake
+	// clock the timeout elapses by Advance calls, not wall time.
+	ts := canned(t, map[string]string{
+		"/api/v1/jobs/j1": `{"job_id":"j1","state":"EXTRACTING","complete":false}`,
+	}, "")
+	defer ts.Close()
+	c := New(ts.URL, "")
+	fake := clock.NewFake(time.Unix(0, 0))
+	c.Clock = fake
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.WaitJob("j1", time.Second, 10*time.Second)
+		done <- err
+	}()
+	deadline := time.After(10 * time.Second) // wall-clock safety net only
+	for {
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "did not complete") {
+				t.Fatalf("err = %v, want timeout", err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("WaitJob ignored the fake clock")
+		default:
+			fake.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
 	}
 }

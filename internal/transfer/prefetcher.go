@@ -102,13 +102,13 @@ func (p *Prefetcher) worker(ctx context.Context) {
 			}
 			continue
 		}
-		p.processBatch(msgs)
+		p.processBatch(ctx, msgs)
 	}
 }
 
 // processBatch groups received tasks by route and runs one fabric job per
 // route, then reports results and acks.
-func (p *Prefetcher) processBatch(msgs []queue.Message) {
+func (p *Prefetcher) processBatch(ctx context.Context, msgs []queue.Message) {
 	type routed struct {
 		tasks    []PrefetchTask
 		receipts []string
@@ -131,11 +131,11 @@ func (p *Prefetcher) processBatch(msgs []queue.Message) {
 		r.receipts = append(r.receipts, m.Receipt)
 	}
 	for key, r := range routes {
-		p.runRoute(key[0], key[1], r.tasks, r.receipts)
+		p.runRoute(ctx, key[0], key[1], r.tasks, r.receipts)
 	}
 }
 
-func (p *Prefetcher) runRoute(src, dst string, tasks []PrefetchTask, receipts []string) {
+func (p *Prefetcher) runRoute(ctx context.Context, src, dst string, tasks []PrefetchTask, receipts []string) {
 	var pairs []FilePair
 	for _, t := range tasks {
 		pairs = append(pairs, t.Pairs...)
@@ -144,7 +144,15 @@ func (p *Prefetcher) runRoute(src, dst string, tasks []PrefetchTask, receipts []
 	var info JobInfo
 	jobID, err := p.fabric.Submit(src, dst, pairs)
 	if err == nil {
-		info, err = p.waitPolling(jobID)
+		info, err = p.waitPolling(ctx, jobID)
+	}
+	if ctx.Err() != nil {
+		// Shutdown mid-fetch: hand the tasks back to the queue instead of
+		// reporting results, so a restarted prefetcher can redo them.
+		for _, r := range receipts {
+			_ = p.in.Nack(r)
+		}
+		return
 	}
 	elapsed := p.clk.Since(start)
 	perTaskBytes := int64(0)
@@ -181,8 +189,10 @@ func (p *Prefetcher) runRoute(src, dst string, tasks []PrefetchTask, receipts []
 }
 
 // waitPolling polls job status at PollInterval until terminal, mirroring
-// the paper's "polls each transfer task until it is completed".
-func (p *Prefetcher) waitPolling(jobID string) (JobInfo, error) {
+// the paper's "polls each transfer task until it is completed". It
+// returns ctx.Err() as soon as the context is cancelled so a worker
+// shutting down never blocks on an in-flight fabric job.
+func (p *Prefetcher) waitPolling(ctx context.Context, jobID string) (JobInfo, error) {
 	for {
 		info, err := p.fabric.Status(jobID)
 		if err != nil {
@@ -191,6 +201,10 @@ func (p *Prefetcher) waitPolling(jobID string) (JobInfo, error) {
 		if info.Status == StatusSucceeded || info.Status == StatusFailed {
 			return info, nil
 		}
-		p.clk.Sleep(p.PollInterval)
+		select {
+		case <-ctx.Done():
+			return JobInfo{}, ctx.Err()
+		case <-p.clk.After(p.PollInterval):
+		}
 	}
 }

@@ -28,6 +28,14 @@ var (
 	ErrNoJob      = errors.New("transfer: unknown job")
 )
 
+// FaultHook injects failures into the fabric for chaos testing.
+// internal/faultinject satisfies it structurally; a nil hook is a no-op.
+type FaultHook interface {
+	// TransferFault is consulted once per job after the RTT charge. A
+	// positive duration stalls the job; a non-nil error fails it.
+	TransferFault(src, dst string) (time.Duration, error)
+}
+
 // Link models the network path between two endpoints.
 type Link struct {
 	// BytesPerSec is the sustained data rate; <= 0 means infinite.
@@ -123,6 +131,7 @@ type Fabric struct {
 	links     map[[2]string]*linkState
 	jobs      map[string]*job
 	seq       int
+	faults    FaultHook
 
 	// Observability handles (nil-safe when Instrument is never called).
 	obsBytes      *obs.Counter
@@ -156,6 +165,20 @@ type linkState struct {
 	// payloadMu serializes payload time on the link so concurrent jobs
 	// share bandwidth instead of each enjoying the full rate.
 	payloadMu sync.Mutex
+}
+
+// SetFaults installs (or clears, with nil) the fabric's fault hook.
+func (f *Fabric) SetFaults(h FaultHook) {
+	f.mu.Lock()
+	f.faults = h
+	f.mu.Unlock()
+}
+
+// faultHook reads the installed hook; nil means no injection.
+func (f *Fabric) faultHook() FaultHook {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
 }
 
 // NewFabric returns an empty fabric using clk for transfer timing.
@@ -256,6 +279,16 @@ func (f *Fabric) run(j *job, srcEP, dstEP *Endpoint) {
 	}
 
 	f.clk.Sleep(ls.link.RTT)
+	if h := f.faultHook(); h != nil {
+		stall, err := h.TransferFault(j.src, j.dst)
+		if stall > 0 {
+			f.clk.Sleep(stall)
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+	}
 	for _, p := range j.pairs {
 		data, err := srcEP.Store.Read(p.Src)
 		if err != nil {
