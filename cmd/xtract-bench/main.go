@@ -8,8 +8,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -18,8 +20,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workload sizes")
-	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline")
+	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache")
 	seed := flag.Int64("seed", 42, "random seed")
+	benchJSON := flag.String("benchjson", "", "write the cache cold/warm result as JSON to this file")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's data series as CSV into this directory")
 	flag.Parse()
 
@@ -63,6 +66,45 @@ func main() {
 	}
 	if run("headline") {
 		headline(*quick, *seed)
+	}
+	if run("cache") {
+		cacheColdWarm(*quick, *seed, *benchJSON)
+	}
+}
+
+func cacheColdWarm(quick bool, seed int64, jsonPath string) {
+	header("Incremental re-extraction: cold vs warm run (result cache)")
+	files := 800
+	if quick {
+		files = 200
+	}
+	res, err := experiments.CacheColdWarm(files, seed)
+	if err != nil {
+		fmt.Printf("cache experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("files: %d  steps: %d  cold: %.1f ms (%d tasks)  warm: %.1f ms (%d tasks)\n",
+		res.Files, res.Steps,
+		float64(res.ColdElapsed)/float64(time.Millisecond), res.ColdTasks,
+		float64(res.WarmElapsed)/float64(time.Millisecond), res.WarmTasks)
+	fmt.Printf("cache hits: %d  speedup: %.1fx  (warm run dispatched zero extractors)\n",
+		res.CacheHits, res.Speedup)
+	writeCSV("cache_cold_warm",
+		[]string{"files", "steps", "cold_ms", "warm_ms", "cold_tasks", "warm_tasks", "cache_hits", "speedup"},
+		[][]string{{d(res.Files), d(int(res.Steps)),
+			f(float64(res.ColdElapsed) / float64(time.Millisecond)),
+			f(float64(res.WarmElapsed) / float64(time.Millisecond)),
+			d(int(res.ColdTasks)), d(int(res.WarmTasks)), d(int(res.CacheHits)), f(res.Speedup)}})
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Printf("benchjson write failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

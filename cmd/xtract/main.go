@@ -3,7 +3,7 @@
 // It can also serve the REST API for SDK-driven jobs.
 //
 //	xtract extract -root DIR [-out DIR] [-grouper matio] [-workers 8]
-//	xtract serve   -root DIR -addr :8080
+//	xtract serve   -root DIR -addr :8080 [-cache N]
 //	xtract extractors
 package main
 
@@ -57,7 +57,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xtract extract -root DIR [-out DIR] [-grouper single|extension|directory|matio] [-workers N] [-validator passthrough|mdf]
   xtract search  -metadata DIR -q QUERY
-  xtract serve   -root DIR [-addr :8080]
+  xtract serve   -root DIR [-addr :8080] [-cache N]
   xtract extractors`)
 }
 
@@ -147,6 +147,7 @@ func runServe(args []string) error {
 	root := fs.String("root", "", "directory to expose as the 'local' site (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 8, "extraction workers")
+	cacheCap := fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 	_ = fs.Parse(args)
 	if *root == "" {
 		return fmt.Errorf("-root is required")
@@ -158,7 +159,7 @@ func runServe(args []string) error {
 	clk := clock.NewReal()
 	d, err := deploy.New(context.Background(), clk, []deploy.SiteSpec{
 		{Name: "local", Store: src, Workers: *workers},
-	}, deploy.Options{})
+	}, deploy.Options{CacheCapacity: *cacheCap})
 	if err != nil {
 		return err
 	}

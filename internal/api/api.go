@@ -11,6 +11,7 @@
 //	DELETE /api/v1/jobs/{id}       cancel a running job
 //	GET    /api/v1/sites           registered sites
 //	GET    /api/v1/extractors      registered extractors
+//	GET    /api/v1/cache           extraction result cache statistics
 //	GET    /api/v1/search          metadata search
 //	POST   /api/v1/index/refresh   re-ingest validated metadata
 //	GET    /metrics                Prometheus text exposition (no auth)
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"xtract/internal/auth"
+	"xtract/internal/cache"
 	"xtract/internal/core"
 	"xtract/internal/crawler"
 	"xtract/internal/extractors"
@@ -44,6 +46,9 @@ import (
 // JobRequest submits an extraction job.
 type JobRequest struct {
 	Repos []RepoRequest `json:"repos"`
+	// NoCache bypasses the extraction result cache for this job: every
+	// step runs a fresh extractor invocation and nothing is written back.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // RepoRequest names one repository within a job.
@@ -109,6 +114,14 @@ type CancelResponse struct {
 // SitesResponse lists registered sites.
 type SitesResponse struct {
 	Sites []string `json:"sites"`
+}
+
+// CacheStatsResponse answers GET /api/v1/cache. Enabled is false when
+// the service runs without an extraction result cache, in which case
+// Stats is zero-valued.
+type CacheStatsResponse struct {
+	Enabled bool        `json:"enabled"`
+	Stats   cache.Stats `json:"stats"`
 }
 
 // ExtractorsResponse lists registered extractors.
@@ -321,6 +334,7 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /api/v1/jobs/{id}", auth.ScopeExtract, s.handleCancel)
 	route("GET /api/v1/sites", auth.ScopeExtract, s.handleSites)
 	route("GET /api/v1/extractors", auth.ScopeExtract, s.handleExtractors)
+	route("GET /api/v1/cache", auth.ScopeExtract, s.handleCacheStats)
 	route("GET /api/v1/search", auth.ScopeExtract, s.handleSearch)
 	route("POST /api/v1/index/refresh", auth.ScopeExtract, s.handleRefresh)
 	route("GET /metrics", "", s.handleMetrics) // scrape endpoint: no auth
@@ -444,8 +458,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// an explicit cancel) reaches the pump.
 	ctx, cancel := context.WithCancel(s.baseContext())
 	idCh := make(chan string, 1)
+	opts := core.JobOptions{NoCache: req.NoCache}
 	go func() {
-		stats, err := s.svc.RunJobNotify(ctx, specs, idCh)
+		stats, err := s.svc.RunJobNotifyOpts(ctx, specs, opts, idCh)
 		cancel()
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -579,4 +594,9 @@ func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleExtractors(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, ExtractorsResponse{Extractors: s.lib.Names()})
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	stats, ok := s.svc.CacheStats()
+	writeJSON(w, http.StatusOK, CacheStatsResponse{Enabled: ok, Stats: stats})
 }

@@ -40,6 +40,13 @@ func newTestServer(t *testing.T, withAuth bool) (*sdk.XtractClient, *auth.Issuer
 // letting the caller wrap the site's data layer (e.g., to slow listings).
 func newTestServerDeps(t *testing.T, withAuth bool, wrapStore func(store.Store) store.Store) (*sdk.XtractClient, *auth.Issuer, *testDeps, func()) {
 	t.Helper()
+	return newTestServerDepsCfg(t, withAuth, wrapStore, nil)
+}
+
+// newTestServerDepsCfg additionally applies a core.Config hook before the
+// service is built (e.g. to attach a result cache).
+func newTestServerDepsCfg(t *testing.T, withAuth bool, wrapStore func(store.Store) store.Store, cfgMut func(*core.Config)) (*sdk.XtractClient, *auth.Issuer, *testDeps, func()) {
+	t.Helper()
 	clk := clock.NewReal()
 	o := obs.New(clk)
 	fsvc := faas.NewService(clk, faas.Costs{})
@@ -53,11 +60,15 @@ func newTestServerDeps(t *testing.T, withAuth bool, wrapStore func(store.Store) 
 		q.Instrument(o.Reg())
 	}
 
-	svc := core.New(core.Config{
+	cfg := core.Config{
 		Clock: clk, FaaS: fsvc, Fabric: fabric, Registry: reg, Library: lib,
 		FamilyQueue: families, PrefetchQueue: prefetch,
 		PrefetchDone: prefetchDone, ResultQueue: results, Obs: o,
-	})
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	svc := core.New(cfg)
 	fs := store.NewMemFS("local", nil)
 	var siteStore store.Store = fs
 	if wrapStore != nil {

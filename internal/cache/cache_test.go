@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"encoding/json"
+	"testing"
+
+	"xtract/internal/store"
+)
+
+func md(v string) map[string]interface{} {
+	return map[string]interface{}{"value": v}
+}
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	c := New(2)
+	k1 := Key{ContentHash: "h1", Extractor: "keyword", Version: "1"}
+	k2 := Key{ContentHash: "h2", Extractor: "keyword", Version: "1"}
+	k3 := Key{ContentHash: "h3", Extractor: "keyword", Version: "1"}
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, md("a"))
+	c.Put(k2, md("b"))
+	got, ok := c.Get(k1)
+	if !ok || got["value"] != "a" {
+		t.Fatalf("k1 = %v, %v", got, ok)
+	}
+	// k2 is now least recently used; k3 must evict it, not k1.
+	c.Put(k3, md("c"))
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("evicted k2 still hits")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("recently used k1 was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d", st.Hits, st.Misses)
+	}
+}
+
+func TestVersionAndContentInvalidation(t *testing.T) {
+	c := New(0)
+	k := Key{ContentHash: "h1", Extractor: "keyword", Version: "1"}
+	c.Put(k, md("a"))
+	if _, ok := c.Get(Key{ContentHash: "h1", Extractor: "keyword", Version: "2"}); ok {
+		t.Fatal("version bump did not invalidate")
+	}
+	if _, ok := c.Get(Key{ContentHash: "h2", Extractor: "keyword", Version: "1"}); ok {
+		t.Fatal("content change did not invalidate")
+	}
+	if _, ok := c.Get(Key{ContentHash: "h1", Extractor: "tabular", Version: "1"}); ok {
+		t.Fatal("extractor change did not invalidate")
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("original key should still hit")
+	}
+}
+
+func TestGetReturnsIndependentCopies(t *testing.T) {
+	c := New(0)
+	k := Key{ContentHash: "h1", Extractor: "keyword", Version: "1"}
+	c.Put(k, map[string]interface{}{"list": []interface{}{"x"}})
+	first, _ := c.Get(k)
+	first["list"] = "corrupted"
+	first["extra"] = true
+	second, _ := c.Get(k)
+	if _, ok := second["extra"]; ok {
+		t.Fatal("mutation of one Get leaked into the next")
+	}
+	if _, ok := second["list"].([]interface{}); !ok {
+		t.Fatalf("list corrupted across Gets: %v", second["list"])
+	}
+}
+
+func TestPersistentRoundTripAcrossRestart(t *testing.T) {
+	fs := store.NewMemFS("dest", nil)
+	k := Key{ContentHash: "abc", Extractor: "keyword", Version: "1"}
+
+	c1 := NewPersistent(4, fs, "/cache")
+	c1.Put(k, md("persisted"))
+
+	// A fresh cache over the same store simulates a service restart: the
+	// memory layer is cold but the persistent layer answers.
+	c2 := NewPersistent(4, fs, "/cache")
+	got, ok := c2.Get(k)
+	if !ok || got["value"] != "persisted" {
+		t.Fatalf("persistent layer miss: %v, %v", got, ok)
+	}
+	st := c2.Stats()
+	if st.PersistHits != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The entry was promoted: a second Get is a memory hit even if the
+	// store entry disappears.
+	if err := fs.Delete("/cache/keyword/1/abc.json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promoted entry not served from memory")
+	}
+}
+
+func TestCorruptedPersistentEntryIsAMiss(t *testing.T) {
+	fs := store.NewMemFS("dest", nil)
+	k := Key{ContentHash: "abc", Extractor: "keyword", Version: "1"}
+	path := "/cache/keyword/1/abc.json"
+
+	c := NewPersistent(4, fs, "/cache")
+	if err := fs.Write(path, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("corrupted entry served as a hit")
+	}
+	st := c.Stats()
+	if st.PersistErrors != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A well-formed entry whose identity does not match the key is just
+	// as untrustworthy.
+	wrong, _ := json.Marshal(Entry{
+		ContentHash: "other", Extractor: "keyword", Version: "1",
+		Metadata: md("stolen"),
+	})
+	if err := fs.Write(path, wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("mismatched entry served as a hit")
+	}
+
+	// Write-back repairs the slot and later reads trust it again.
+	c2 := NewPersistent(4, fs, "/cache")
+	c2.Put(k, md("repaired"))
+	c3 := NewPersistent(4, fs, "/cache")
+	if got, ok := c3.Get(k); !ok || got["value"] != "repaired" {
+		t.Fatalf("repaired entry = %v, %v", got, ok)
+	}
+}
+
+func TestGroupFingerprint(t *testing.T) {
+	if _, ok := GroupFingerprint(nil); ok {
+		t.Fatal("empty group fingerprinted")
+	}
+	if _, ok := GroupFingerprint(map[string]string{"/a": "h1", "/b": ""}); ok {
+		t.Fatal("group with unhashed member fingerprinted")
+	}
+	fp1, ok := GroupFingerprint(map[string]string{"/a": "h1", "/b": "h2"})
+	if !ok {
+		t.Fatal("fingerprint failed")
+	}
+	fp2, _ := GroupFingerprint(map[string]string{"/b": "h2", "/a": "h1"})
+	if fp1 != fp2 {
+		t.Fatal("fingerprint depends on map order")
+	}
+	fp3, _ := GroupFingerprint(map[string]string{"/a": "h1", "/b": "h3"})
+	if fp1 == fp3 {
+		t.Fatal("content change did not change fingerprint")
+	}
+	fp4, _ := GroupFingerprint(map[string]string{"/a": "h1", "/c": "h2"})
+	if fp1 == fp4 {
+		t.Fatal("path change did not change fingerprint")
+	}
+}
+
+func TestEvictionHook(t *testing.T) {
+	c := New(1)
+	var fired int
+	c.SetEvictionHook(func() { fired++ })
+	c.Put(Key{ContentHash: "h1"}, md("a"))
+	c.Put(Key{ContentHash: "h2"}, md("b"))
+	if fired != 1 {
+		t.Fatalf("eviction hook fired %d times", fired)
+	}
+}
+
+func TestUnserializableMetadataNotCached(t *testing.T) {
+	c := New(0)
+	k := Key{ContentHash: "h1", Extractor: "keyword", Version: "1"}
+	c.Put(k, map[string]interface{}{"bad": func() {}})
+	if _, ok := c.Get(k); ok {
+		t.Fatal("unserializable metadata was cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Key{ContentHash: "h"}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(Key{ContentHash: "h"}, md("a"))
+	c.SetEvictionHook(func() {})
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reports state")
+	}
+}

@@ -39,6 +39,13 @@ type siteSpec struct {
 
 func newHarness(t *testing.T, sites []siteSpec, policy scheduler.Policy) *harness {
 	t.Helper()
+	return newHarnessCfg(t, sites, policy, nil)
+}
+
+// newHarnessCfg is newHarness with a config hook applied before the
+// service is built (e.g. to attach a result cache).
+func newHarnessCfg(t *testing.T, sites []siteSpec, policy scheduler.Policy, mut func(*Config)) *harness {
+	t.Helper()
 	clk := clock.NewReal()
 	h := &harness{clk: clk, sites: make(map[string]*store.MemFS)}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -60,6 +67,9 @@ func newHarness(t *testing.T, sites []siteSpec, policy scheduler.Policy) *harnes
 		ResultQueue:   results,
 		Policy:        policy,
 		Checkpoint:    true,
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	h.svc = New(cfg)
 

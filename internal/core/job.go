@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"xtract/internal/cache"
 	"xtract/internal/clock"
 	"xtract/internal/crawler"
 	"xtract/internal/faas"
@@ -37,7 +38,9 @@ type RepoSpec struct {
 	MaxFamilySize int
 }
 
-// JobStats summarizes a finished job.
+// JobStats summarizes a finished job. Every counter is scoped to this
+// job alone — concurrent jobs on one service each report only their own
+// work; the Service-level counters remain as service-lifetime aggregates.
 type JobStats struct {
 	JobID             string
 	Crawl             crawler.Stats
@@ -49,7 +52,20 @@ type JobStats struct {
 	StepsRetried      int64
 	StepsDeadLettered int64
 	BytesStaged       int64
-	Elapsed           time.Duration
+	// CacheHits counts steps replayed from the extraction result cache
+	// (no FaaS dispatch); CacheMisses counts lookups that fell through
+	// to extraction.
+	CacheHits   int64
+	CacheMisses int64
+	Elapsed     time.Duration
+}
+
+// JobOptions carries per-job overrides.
+type JobOptions struct {
+	// NoCache bypasses the extraction result cache for this job: the
+	// crawler skips content fingerprinting and the pump neither consults
+	// nor updates the cache.
+	NoCache bool
 }
 
 // stepRef ties a dispatched step back to its family.
@@ -97,9 +113,13 @@ type retryItem struct {
 
 // pump is the single-threaded orchestration loop state for one job.
 type pump struct {
-	s         *Service
-	jobID     string
-	start     time.Time
+	s     *Service
+	jobID string
+	start time.Time
+	// famQ is this job's private crawl-output queue; a shared queue would
+	// let concurrent pumps steal each other's families.
+	famQ      *queue.Queue
+	noCache   bool
 	states    map[string]*famState
 	staging   map[string]*famState
 	buckets   map[[2]string][]stepPayload // (site, extractor) -> steps
@@ -108,6 +128,18 @@ type pump struct {
 	out       map[string][]stepRef // taskID -> refs
 	outIDs    []string
 	failedFam int64
+
+	// Job-scoped progress counters. The Service keeps matching counters,
+	// but those aggregate across every job the service has ever run;
+	// JobStats must be built from these so concurrent jobs never report
+	// each other's work.
+	familiesDone     int64
+	stepsProcessed   int64
+	stepsFailed      int64
+	tasksResubmitted int64
+	bytesStaged      int64
+	cacheHits        int64
+	cacheMisses      int64
 
 	// attempts counts executions per step; backlog holds steps waiting
 	// out a retry backoff; budget is the job's remaining retry budget.
@@ -123,13 +155,24 @@ type pump struct {
 // service dequeues families as the crawler emits them (the paper's
 // "begins extracting data within 3 seconds of the crawler starting").
 func (s *Service) RunJob(ctx context.Context, repos []RepoSpec) (JobStats, error) {
-	return s.RunJobNotify(ctx, repos, nil)
+	return s.RunJobNotifyOpts(ctx, repos, JobOptions{}, nil)
+}
+
+// RunJobWithOptions is RunJob with per-job overrides.
+func (s *Service) RunJobWithOptions(ctx context.Context, repos []RepoSpec, opts JobOptions) (JobStats, error) {
+	return s.RunJobNotifyOpts(ctx, repos, opts, nil)
 }
 
 // RunJobNotify is RunJob, additionally delivering the assigned job ID on
 // idCh as soon as the job record exists (used by the REST front end to
 // return a handle before the job completes).
 func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<- string) (JobStats, error) {
+	return s.RunJobNotifyOpts(ctx, repos, JobOptions{}, idCh)
+}
+
+// RunJobNotifyOpts is the full-surface job entry point: overrides plus
+// job-ID notification.
+func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts JobOptions, idCh chan<- string) (JobStats, error) {
 	names := make([]string, 0, len(repos))
 	for _, r := range repos {
 		names = append(names, r.SiteName)
@@ -142,6 +185,11 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	s.obsJobsActive.Inc()
 	defer s.obsJobsActive.Dec()
 
+	// Each job crawls into its own private family queue: with a shared
+	// queue, concurrent jobs would steal each other's families (and hence
+	// each other's results and stats).
+	famQ := queue.New("crawl-families/"+jobID, s.clk)
+
 	crawlDone := make(chan crawler.Stats, len(repos))
 	crawlErr := make(chan error, len(repos))
 	for _, spec := range repos {
@@ -151,7 +199,8 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 			s.failJob(jobID, err)
 			return JobStats{JobID: jobID}, err
 		}
-		c := crawler.New(site.Store, spec.Grouper, s.cfg.FamilyQueue)
+		c := crawler.New(site.Store, spec.Grouper, famQ)
+		c.Fingerprint = s.cfg.Cache != nil && !opts.NoCache
 		if spec.CrawlWorkers > 0 {
 			c.Workers = spec.CrawlWorkers
 		}
@@ -182,6 +231,8 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 		s:        s,
 		jobID:    jobID,
 		start:    s.clk.Now(),
+		famQ:     famQ,
+		noCache:  opts.NoCache,
 		states:   make(map[string]*famState),
 		staging:  make(map[string]*famState),
 		buckets:  make(map[[2]string][]stepPayload),
@@ -240,10 +291,12 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 		}
 
 		if !progress {
+			// Note: no check on PrefetchDone here — every staging result
+			// this job still owes is tracked in p.staging, and messages for
+			// other jobs on the shared queue must not hold this one open.
 			if crawlsPending == 0 && len(p.states) == 0 && len(p.staging) == 0 &&
 				len(p.outIDs) == 0 && len(p.backlog) == 0 &&
-				s.cfg.FamilyQueue.Len() == 0 &&
-				s.cfg.PrefetchDone.Len() == 0 {
+				famQ.Len() == 0 {
 				break
 			}
 			// While idle, scan endpoint liveness so tasks stranded on a
@@ -270,23 +323,25 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
 		j.State = state
 		j.GroupsCrawled = crawlStats.GroupsFormed
-		j.GroupsDone = s.GroupsProcessed.Value()
+		j.GroupsDone = p.stepsProcessed
 		j.Err = errMsg
 	})
 	s.obsJobs.With(string(state)).Inc()
-	s.obs.Emitf(jobID, event, "families_failed=%d steps_dead_lettered=%d elapsed=%s",
-		p.failedFam, p.deadLettered, elapsed)
+	s.obs.Emitf(jobID, event, "families_failed=%d steps_dead_lettered=%d cache_hits=%d elapsed=%s",
+		p.failedFam, p.deadLettered, p.cacheHits, elapsed)
 	return JobStats{
 		JobID:             jobID,
 		Crawl:             crawlStats,
-		FamiliesDone:      s.FamiliesDone.Value(),
+		FamiliesDone:      p.familiesDone,
 		FamiliesFailed:    p.failedFam,
-		StepsProcessed:    s.GroupsProcessed.Value(),
-		StepsFailed:       s.StepsFailed.Value(),
-		TasksResubmitted:  s.TasksResubmitted.Value(),
+		StepsProcessed:    p.stepsProcessed,
+		StepsFailed:       p.stepsFailed,
+		TasksResubmitted:  p.tasksResubmitted,
 		StepsRetried:      p.retried,
 		StepsDeadLettered: p.deadLettered,
-		BytesStaged:       s.BytesStaged.Value(),
+		BytesStaged:       p.bytesStaged,
+		CacheHits:         p.cacheHits,
+		CacheMisses:       p.cacheMisses,
 		Elapsed:           elapsed,
 	}, nil
 }
@@ -308,23 +363,24 @@ func (s *Service) failJob(jobID string, err error) {
 	s.obs.Emit(jobID, event, err.Error())
 }
 
-// intakeFamilies pulls crawled families off the queue, places them, and
-// either readies them for dispatch or sends them to the prefetcher.
+// intakeFamilies pulls crawled families off this job's private queue,
+// places them, and either readies them for dispatch or sends them to the
+// prefetcher.
 func (p *pump) intakeFamilies() bool {
-	msgs := p.s.cfg.FamilyQueue.Receive(64, 5*time.Minute)
+	msgs := p.famQ.Receive(64, 5*time.Minute)
 	if len(msgs) == 0 {
 		return false
 	}
 	for _, m := range msgs {
 		var fam family.Family
 		if err := json.Unmarshal(m.Body, &fam); err != nil {
-			_ = p.s.cfg.FamilyQueue.Delete(m.Receipt)
+			_ = p.famQ.Delete(m.Receipt)
 			continue
 		}
 		p.s.obs.Emitf(p.jobID, obs.EvFamilyEnqueued, "family=%s groups=%d bytes=%d",
 			fam.ID, len(fam.Groups), fam.TotalBytes())
 		p.placeFamily(fam)
-		_ = p.s.cfg.FamilyQueue.Delete(m.Receipt)
+		_ = p.famQ.Delete(m.Receipt)
 	}
 	return true
 }
@@ -366,6 +422,9 @@ func (p *pump) placeFamily(fam family.Family) {
 		}
 		p.states[fam.ID] = st
 		p.bucketReadySteps(st)
+		// A family whose every step was served from the result cache never
+		// reaches the task-completion path — close it out here.
+		p.finishIfDone(st)
 		return
 	}
 	if target.DirectFetch {
@@ -377,6 +436,7 @@ func (p *pump) placeFamily(fam family.Family) {
 		st.fetchFrom = home.TransferID
 		p.states[fam.ID] = st
 		p.bucketReadySteps(st)
+		p.finishIfDone(st)
 		return
 	}
 	// Staging required: the target must have room for the family's bytes
@@ -489,6 +549,7 @@ func (p *pump) deadLetterStep(st *famState, step scheduler.Step, attempts int, c
 	st.plan.Fail(step)
 	st.deadLettered++
 	p.deadLettered++
+	p.stepsFailed++
 	p.s.StepsFailed.Inc()
 	p.s.obsStepsFailed.Inc()
 	p.s.StepsDeadLettered.Inc()
@@ -577,44 +638,67 @@ func (p *pump) intakeRetries() bool {
 }
 
 // intakeStaged consumes prefetcher results and readies staged families.
+// Results for families this pump is not staging belong to a concurrent
+// job sharing the queue: they are made visible again (Nack), never
+// deleted, and do not count as progress.
 func (p *pump) intakeStaged() bool {
 	msgs := p.s.cfg.PrefetchDone.Receive(64, 5*time.Minute)
 	if len(msgs) == 0 {
 		return false
 	}
+	progress := false
 	for _, m := range msgs {
 		var res transfer.PrefetchResult
 		if err := json.Unmarshal(m.Body, &res); err != nil {
 			_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
+			progress = true
 			continue
 		}
 		st, ok := p.staging[res.FamilyID]
-		if ok {
-			if res.OK {
-				delete(p.staging, res.FamilyID)
-				st.xferDur = res.Elapsed
-				p.s.BytesStaged.Add(res.Bytes)
-				p.s.obsBytesStaged.Add(float64(res.Bytes))
-				p.s.obs.Emitf(p.jobID, obs.EvFamilyStaged, "family=%s bytes=%d elapsed=%s",
-					res.FamilyID, res.Bytes, res.Elapsed)
-				p.states[st.fam.ID] = st
-				p.bucketReadySteps(st)
-			} else {
-				p.retryStagingOrFail(st, "staging failed: "+res.Err)
-			}
+		if !ok {
+			_ = p.s.cfg.PrefetchDone.Nack(m.Receipt)
+			continue
+		}
+		progress = true
+		if res.OK {
+			delete(p.staging, res.FamilyID)
+			st.xferDur = res.Elapsed
+			p.bytesStaged += res.Bytes
+			p.s.BytesStaged.Add(res.Bytes)
+			p.s.obsBytesStaged.Add(float64(res.Bytes))
+			p.s.obs.Emitf(p.jobID, obs.EvFamilyStaged, "family=%s bytes=%d elapsed=%s",
+				res.FamilyID, res.Bytes, res.Elapsed)
+			p.states[st.fam.ID] = st
+			p.bucketReadySteps(st)
+			p.finishIfDone(st)
+		} else {
+			p.retryStagingOrFail(st, "staging failed: "+res.Err)
 		}
 		_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
 	}
-	return true
+	return progress
 }
 
 // bucketReadySteps drains the family plan's pending steps into the
-// per-(site, extractor) Xtract batching buckets.
+// per-(site, extractor) Xtract batching buckets. Each first-attempt step
+// is offered to the extraction result cache on the way: a hit completes
+// the step in place — no bucket, no FaaS task — and may unlock follow-on
+// steps, which the loop then also drains.
 func (p *pump) bucketReadySteps(st *famState) {
 	for {
 		step, ok := st.plan.Next()
 		if !ok {
 			return
+		}
+		if p.attempts[stepKey{st.fam.ID, step}] == 0 {
+			if key, ok := p.stepCacheKey(st, step); ok {
+				if md, hit := p.s.cfg.Cache.Get(key); hit {
+					p.completeFromCache(st, step, md)
+					continue
+				}
+				p.cacheMisses++
+				p.s.obsCacheMisses.Inc()
+			}
 		}
 		groupFiles := p.groupFiles(st, step.GroupID)
 		key := [2]string{st.site.Name, step.Extractor}
@@ -626,6 +710,58 @@ func (p *pump) bucketReadySteps(st *famState) {
 			FetchFrom:   st.fetchFrom,
 		})
 	}
+}
+
+// stepCacheKey derives the cache key for one step from the group's
+// crawl-time content fingerprints. ok is false — the step is uncacheable
+// — when no cache is configured, the job opted out, or any group member
+// lacks a content hash.
+func (p *pump) stepCacheKey(st *famState, step scheduler.Step) (cache.Key, bool) {
+	if p.s.cfg.Cache == nil || p.noCache {
+		return cache.Key{}, false
+	}
+	var files map[string]string
+	for _, g := range st.fam.Groups {
+		if g.ID != step.GroupID {
+			continue
+		}
+		files = make(map[string]string, len(g.Files))
+		for _, f := range g.Files {
+			files[f] = st.fam.FileMeta[f].ContentHash
+		}
+		break
+	}
+	fp, ok := cache.GroupFingerprint(files)
+	if !ok {
+		return cache.Key{}, false
+	}
+	return cache.Key{
+		ContentHash: fp,
+		Extractor:   step.Extractor,
+		Version:     p.s.extractorVersion(step.Extractor),
+	}, true
+}
+
+// completeFromCache marks one step done with replayed metadata: the plan
+// advances (including any schedule suggestions the metadata carries),
+// the validation record gains a Cached provenance entry, and throughput
+// counts the step — but no FaaS task is ever created.
+func (p *pump) completeFromCache(st *famState, step scheduler.Step, md map[string]interface{}) {
+	st.steps = append(st.steps, validate.StepResult{
+		GroupID: step.GroupID, Extractor: step.Extractor,
+		OK: true, Cached: true,
+	})
+	st.plan.Complete(step, md)
+	st.results[step.GroupID+"/"+step.Extractor] = md
+	p.stepsProcessed++
+	p.cacheHits++
+	p.s.GroupsProcessed.Inc()
+	p.s.obsGroupsProcessed.Inc()
+	p.s.obsCacheHits.Inc()
+	p.s.Throughput.Record(p.s.clk.Since(p.start), 1)
+	p.s.obs.Emitf(p.jobID, obs.EvStepCacheHit,
+		"family=%s group=%s extractor=%s replayed from cache",
+		st.fam.ID, step.GroupID, step.Extractor)
 }
 
 // groupFiles resolves a group's effective file map at the execution site.
@@ -809,6 +945,12 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 				})
 				st.plan.Complete(step, outc.Metadata)
 				st.results[outc.GroupID+"/"+step.Extractor] = outc.Metadata
+				// Remember the fresh result so a later run over identical
+				// content replays it instead of re-extracting.
+				if key, ok := p.stepCacheKey(st, step); ok {
+					p.s.cfg.Cache.Put(key, outc.Metadata)
+				}
+				p.stepsProcessed++
 				p.s.GroupsProcessed.Inc()
 				p.s.obsGroupsProcessed.Inc()
 				p.s.Throughput.Record(p.s.clk.Since(p.start), 1)
@@ -846,6 +988,7 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
 			}
 		}
 		if requeued > 0 {
+			p.tasksResubmitted++
 			p.s.TasksResubmitted.Inc()
 			p.s.obsTasksResubmitted.Inc()
 			p.s.obs.Emitf(p.jobID, obs.EvTaskResubmitted, "task=%s steps=%d requeued after backoff", id, requeued)
@@ -888,8 +1031,15 @@ func (p *pump) finishIfDone(st *famState) {
 		Metadata:  st.results,
 		Extracted: st.steps,
 	}
-	body, _ := json.Marshal(rec)
+	body, err := json.Marshal(rec)
+	if err != nil {
+		// Unserializable metadata must not vanish silently: surface it
+		// through the dead-letter path and fail the family.
+		p.failFamily(st.fam.ID, "result marshal: "+err.Error(), 0)
+		return
+	}
 	p.s.cfg.ResultQueue.Send(body)
+	p.familiesDone++
 	p.s.FamiliesDone.Inc()
 	p.s.obsFamiliesDone.Inc()
 	p.s.obs.Emitf(p.jobID, obs.EvFamilyDone, "family=%s steps=%d", st.fam.ID, len(st.steps))

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"xtract/internal/cache"
 	"xtract/internal/clock"
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
@@ -121,7 +122,9 @@ type Config struct {
 	Fabric   *transfer.Fabric
 	Registry *registry.Registry
 	Library  *extractors.Library
-	// FamilyQueue delivers serialized families from the crawler.
+	// FamilyQueue is retained for deployments that crawl outside RunJob;
+	// jobs themselves crawl into a private per-job queue so concurrent
+	// jobs cannot consume each other's families.
 	FamilyQueue *queue.Queue
 	// PrefetchQueue / PrefetchDone connect to the prefetcher.
 	PrefetchQueue *queue.Queue
@@ -146,6 +149,13 @@ type Config struct {
 	// ExtractFaults, when set, injects extractor failures and panics into
 	// step execution (chaos testing; internal/faultinject satisfies it).
 	ExtractFaults extractors.FaultHook
+	// Cache, when set, is the extraction result cache keyed by (group
+	// content hash, extractor, extractor version): steps whose key hits
+	// replay validated metadata instead of dispatching a FaaS task, and
+	// fresh results are written back on completion. Configuring a cache
+	// also turns on crawl-time content fingerprinting for jobs (see
+	// crawler.Crawler.Fingerprint); per-job JobOptions.NoCache opts out.
+	Cache *cache.Cache
 }
 
 // Service is the Xtract orchestrator.
@@ -197,6 +207,9 @@ type Service struct {
 	obsDeadLetters      *obs.CounterVec
 	obsBudgetExhausted  *obs.Counter
 	obsStepDuration     *obs.HistogramVec
+	obsCacheHits        *obs.Counter
+	obsCacheMisses      *obs.Counter
+	obsCacheEvictions   *obs.Counter
 	obsCrawlDirs        *obs.Counter
 	obsCrawlFiles       *obs.Counter
 	obsCrawlGroups      *obs.Counter
@@ -256,6 +269,12 @@ func New(cfg Config) *Service {
 		"Retries denied because the per-job retry budget was spent.")
 	s.obsStepDuration = reg.HistogramVec("xtract_step_duration_seconds",
 		"Extractor execution time per step.", nil, "extractor")
+	s.obsCacheHits = reg.Counter("xtract_cache_hits_total",
+		"Extraction steps answered by the result cache (no FaaS dispatch).")
+	s.obsCacheMisses = reg.Counter("xtract_cache_misses_total",
+		"Result cache lookups answered by neither cache layer.")
+	s.obsCacheEvictions = reg.Counter("xtract_cache_evictions_total",
+		"Result cache entries displaced by the in-memory LRU bound.")
 	s.obsCrawlDirs = reg.Counter("xtract_crawl_dirs_listed_total",
 		"Directories listed by crawlers.")
 	s.obsCrawlFiles = reg.Counter("xtract_crawl_files_seen_total",
@@ -268,7 +287,30 @@ func New(cfg Config) *Service {
 		"File bytes discovered by crawlers.")
 	s.obsCrawlErrors = reg.Counter("xtract_crawl_list_errors_total",
 		"Directory listings that failed during crawls.")
+	if cfg.Cache != nil {
+		cfg.Cache.SetEvictionHook(func() { s.obsCacheEvictions.Inc() })
+	}
 	return s
+}
+
+// CacheStats snapshots the extraction result cache; ok is false when no
+// cache is configured.
+func (s *Service) CacheStats() (stats cache.Stats, ok bool) {
+	if s.cfg.Cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cfg.Cache.Stats(), true
+}
+
+// extractorVersion resolves an extractor's cache-version stamp through
+// the library; unknown extractors get the default stamp (their steps can
+// only hit entries written under the same default).
+func (s *Service) extractorVersion(name string) string {
+	ext, err := s.cfg.Library.Get(name)
+	if err != nil {
+		return extractors.DefaultVersion
+	}
+	return extractors.VersionOf(ext)
 }
 
 // AddSite registers an endpoint with the service. The site's store name

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"xtract/internal/clock"
+	"xtract/internal/dedup"
 	"xtract/internal/family"
 	"xtract/internal/metrics"
 	"xtract/internal/obs"
@@ -70,6 +71,13 @@ type Crawler struct {
 	// RateLimitBackoff.
 	RateLimitRetries int
 	RateLimitBackoff time.Duration
+	// Fingerprint makes the crawler read each file and record its
+	// content hash (dedup.ExactKey) into family.FileMeta.ContentHash,
+	// the key material for the extraction result cache. This is the one
+	// deliberate exception to "the crawler never reads contents": the
+	// extra read is what turns a warm re-run into a crawl-bound pass. A
+	// file that cannot be read keeps an empty hash and stays uncacheable.
+	Fingerprint bool
 
 	DirsListed      metrics.Counter
 	FilesSeen       metrics.Counter
@@ -317,7 +325,13 @@ func (c *Crawler) processDir(dir string, dq *dirQueue, rng *rand.Rand, groupsFor
 	}
 	metaOf := make(map[string]family.FileMeta, len(files))
 	for _, fi := range files {
-		metaOf[fi.Path] = family.FileMeta{Size: fi.Size, Extension: fi.Extension, MimeType: fi.MimeType}
+		fm := family.FileMeta{Size: fi.Size, Extension: fi.Extension, MimeType: fi.MimeType}
+		if c.Fingerprint {
+			if data, err := c.Store.Read(fi.Path); err == nil {
+				fm.ContentHash = dedup.ExactKey(data)
+			}
+		}
+		metaOf[fi.Path] = fm
 	}
 	for i := range fams {
 		fam := &fams[i]

@@ -391,3 +391,39 @@ func TestElasticScalingDisabledByDefault(t *testing.T) {
 		t.Fatalf("spawned %d workers with scaling disabled", c.WorkersSpawned.Value())
 	}
 }
+
+func TestCrawlFingerprintRecordsContentHashes(t *testing.T) {
+	fs := buildTree(t)
+
+	out := queue.New("families", clock.NewReal())
+	c := New(fs, SingleFileGrouper(extractors.DefaultLibrary()), out)
+	if _, err := c.Crawl(context.Background(), []string{"/"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range drainFamilies(t, out) {
+		for p, fm := range f.FileMeta {
+			if fm.ContentHash != "" {
+				t.Fatalf("fingerprinting off but %s has hash %q", p, fm.ContentHash)
+			}
+		}
+	}
+
+	c = New(fs, SingleFileGrouper(extractors.DefaultLibrary()), out)
+	c.Fingerprint = true
+	if _, err := c.Crawl(context.Background(), []string{"/"}); err != nil {
+		t.Fatal(err)
+	}
+	hashes := make(map[string]string)
+	for _, f := range drainFamilies(t, out) {
+		for p, fm := range f.FileMeta {
+			if fm.ContentHash == "" {
+				t.Fatalf("fingerprinting on but %s has no hash", p)
+			}
+			hashes[fm.ContentHash] = p
+		}
+	}
+	// Hashes are content-addressed: distinct contents, distinct hashes.
+	if len(hashes) < 8 {
+		t.Fatalf("only %d distinct hashes for 8 distinct files", len(hashes))
+	}
+}

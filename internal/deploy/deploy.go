@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 
+	"xtract/internal/cache"
 	"xtract/internal/clock"
 	"xtract/internal/core"
 	"xtract/internal/extractors"
@@ -62,6 +63,14 @@ type Options struct {
 	Checkpoint bool
 	// FaaSCosts injects control-plane latencies (default zero).
 	FaaSCosts faas.Costs
+	// CacheCapacity, when > 0, enables the extraction result cache with
+	// this in-memory entry bound; warm re-runs over unchanged content
+	// replay cached metadata instead of dispatching extractors.
+	CacheCapacity int
+	// CachePersistPrefix, with CacheCapacity > 0, additionally persists
+	// cache entries under this prefix on the destination store so warm
+	// state survives restarts.
+	CachePersistPrefix string
 }
 
 // Deployment is a running Xtract instance.
@@ -74,6 +83,8 @@ type Deployment struct {
 	Prefetcher *transfer.Prefetcher
 	Validation *validate.Service
 	Dest       store.Store
+	// Cache is the extraction result cache (nil unless CacheCapacity > 0).
+	Cache *cache.Cache
 	// Obs is the deployment-wide observability layer: every substrate
 	// reports into its metric registry and per-job event tracer.
 	Obs    *obs.Observer
@@ -122,6 +133,16 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		q.Instrument(d.Obs.Reg())
 	}
 
+	var resultCache *cache.Cache
+	if opts.CacheCapacity > 0 {
+		if opts.CachePersistPrefix != "" {
+			resultCache = cache.NewPersistent(opts.CacheCapacity, opts.Dest, opts.CachePersistPrefix)
+		} else {
+			resultCache = cache.New(opts.CacheCapacity)
+		}
+	}
+	d.Cache = resultCache
+
 	d.Service = core.New(core.Config{
 		Clock:           clk,
 		FaaS:            d.FaaS,
@@ -137,6 +158,7 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		FuncXBatchSize:  opts.FuncXBatchSize,
 		Checkpoint:      opts.Checkpoint,
 		Obs:             d.Obs,
+		Cache:           resultCache,
 	})
 
 	for _, spec := range sites {

@@ -350,3 +350,24 @@ func TestBestBatchHelper(t *testing.T) {
 		t.Fatalf("best = %+v", best)
 	}
 }
+
+func TestCacheColdWarm(t *testing.T) {
+	run, err := CacheColdWarm(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WarmTasks != 0 {
+		t.Fatalf("warm run submitted %d FaaS tasks; want 0", run.WarmTasks)
+	}
+	if run.ColdTasks == 0 || run.Steps == 0 {
+		t.Fatalf("cold run did no work: %+v", run)
+	}
+	if run.CacheHits != run.Steps {
+		t.Fatalf("warm hits %d != steps %d", run.CacheHits, run.Steps)
+	}
+	// The full >= 5x claim is benchmarked in EXPERIMENTS.md on a quiet
+	// machine; under test-runner noise just require a clear win.
+	if run.Speedup < 2 {
+		t.Fatalf("warm speedup %.2f < 2", run.Speedup)
+	}
+}

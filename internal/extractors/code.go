@@ -18,6 +18,9 @@ func NewPythonCode() *PythonCode { return &PythonCode{} }
 // Name implements Extractor.
 func (p *PythonCode) Name() string { return "pycode" }
 
+// Version implements Versioner for the result cache key.
+func (p *PythonCode) Version() string { return "1" }
+
 // Container implements Extractor.
 func (p *PythonCode) Container() string { return "xtract-code" }
 
@@ -104,6 +107,9 @@ func NewCCode() *CCode { return &CCode{} }
 
 // Name implements Extractor.
 func (c *CCode) Name() string { return "ccode" }
+
+// Version implements Versioner for the result cache key.
+func (c *CCode) Version() string { return "1" }
 
 // Container implements Extractor.
 func (c *CCode) Container() string { return "xtract-code" }

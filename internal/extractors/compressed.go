@@ -20,6 +20,9 @@ func NewCompressed() *Compressed { return &Compressed{} }
 // Name implements Extractor.
 func (c *Compressed) Name() string { return "compressed" }
 
+// Version implements Versioner for the result cache key.
+func (c *Compressed) Version() string { return "1" }
+
 // Container implements Extractor.
 func (c *Compressed) Container() string { return "xtract-compressed" }
 

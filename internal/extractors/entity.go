@@ -22,6 +22,9 @@ func NewEntity() *Entity { return &Entity{} }
 // Name implements Extractor.
 func (e *Entity) Name() string { return "entity" }
 
+// Version implements Versioner for the result cache key.
+func (e *Entity) Version() string { return "1" }
+
 // Container implements Extractor.
 func (e *Entity) Container() string { return "xtract-entity" }
 

@@ -40,6 +40,28 @@ type FaultHook interface {
 	ExtractFault(extractor, groupID string) (panics bool, err error)
 }
 
+// DefaultVersion is the version stamp assumed for extractors that do not
+// implement Versioner.
+const DefaultVersion = "1"
+
+// Versioner is the optional interface by which an extractor stamps its
+// implementation version. The version is part of the extraction result
+// cache key: bump it whenever the extractor's output for the same input
+// bytes changes, and every stale cached result it ever produced is
+// invalidated at once.
+type Versioner interface {
+	Version() string
+}
+
+// VersionOf returns an extractor's version stamp, DefaultVersion when it
+// does not implement Versioner.
+func VersionOf(e Extractor) string {
+	if v, ok := e.(Versioner); ok {
+		return v.Version()
+	}
+	return DefaultVersion
+}
+
 // Extractor is a metadata extractor function: it processes a group of
 // file contents and returns a metadata dictionary.
 type Extractor interface {

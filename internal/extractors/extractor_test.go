@@ -267,3 +267,20 @@ func TestIsNullCell(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionOf(t *testing.T) {
+	lib := DefaultLibrary()
+	for _, name := range lib.Names() {
+		ext, err := lib.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := VersionOf(ext); v == "" {
+			t.Fatalf("extractor %s has empty version", name)
+		}
+	}
+	// An extractor without a Versioner falls back to the default.
+	if v := VersionOf(nil); v != DefaultVersion {
+		t.Fatalf("VersionOf(nil) = %q", v)
+	}
+}

@@ -208,6 +208,9 @@ func NewHierarchical() *Hierarchical { return &Hierarchical{} }
 // Name implements Extractor.
 func (h *Hierarchical) Name() string { return "hierarchical" }
 
+// Version implements Versioner for the result cache key.
+func (h *Hierarchical) Version() string { return "1" }
+
 // Container implements Extractor.
 func (h *Hierarchical) Container() string { return "xtract-hierarchical" }
 

@@ -141,6 +141,9 @@ func NewImageSort() *ImageSort { return &ImageSort{} }
 // Name implements Extractor.
 func (s *ImageSort) Name() string { return "imagesort" }
 
+// Version implements Versioner for the result cache key.
+func (s *ImageSort) Version() string { return "1" }
+
 // Container implements Extractor.
 func (s *ImageSort) Container() string { return "xtract-images" }
 
@@ -200,6 +203,9 @@ func NewImages() *Images { return &Images{} }
 
 // Name implements Extractor.
 func (i *Images) Name() string { return "images" }
+
+// Version implements Versioner for the result cache key.
+func (i *Images) Version() string { return "1" }
 
 // Container implements Extractor.
 func (i *Images) Container() string { return "xtract-images" }

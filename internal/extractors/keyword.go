@@ -59,6 +59,9 @@ func NewKeyword(n int) *Keyword {
 // Name implements Extractor.
 func (k *Keyword) Name() string { return "keyword" }
 
+// Version implements Versioner for the result cache key.
+func (k *Keyword) Version() string { return "1" }
+
 // Container implements Extractor.
 func (k *Keyword) Container() string { return "xtract-keyword" }
 

@@ -44,6 +44,9 @@ func NewMatIO() *MatIO { return &MatIO{} }
 // Name implements Extractor.
 func (m *MatIO) Name() string { return "matio" }
 
+// Version implements Versioner for the result cache key.
+func (m *MatIO) Version() string { return "1" }
+
 // Container implements Extractor.
 func (m *MatIO) Container() string { return "xtract-matio" }
 
@@ -409,6 +412,9 @@ func NewASE() *ASE { return &ASE{Bins: 64, RMax: 10} }
 
 // Name implements Extractor.
 func (a *ASE) Name() string { return "ase" }
+
+// Version implements Versioner for the result cache key.
+func (a *ASE) Version() string { return "1" }
 
 // Container implements Extractor.
 func (a *ASE) Container() string { return "xtract-matio" }

@@ -24,6 +24,9 @@ func NewSemiStructured() *SemiStructured { return &SemiStructured{MaxPaths: 64} 
 // Name implements Extractor.
 func (s *SemiStructured) Name() string { return "semistructured" }
 
+// Version implements Versioner for the result cache key.
+func (s *SemiStructured) Version() string { return "1" }
+
 // Container implements Extractor.
 func (s *SemiStructured) Container() string { return "xtract-semistructured" }
 

@@ -22,6 +22,9 @@ func NewTabular() *Tabular { return &Tabular{} }
 // Name implements Extractor.
 func (t *Tabular) Name() string { return "tabular" }
 
+// Version implements Versioner for the result cache key.
+func (t *Tabular) Version() string { return "1" }
+
 // Container implements Extractor.
 func (t *Tabular) Container() string { return "xtract-tabular" }
 
@@ -237,6 +240,9 @@ func NewNullValue() *NullValue { return &NullValue{} }
 
 // Name implements Extractor.
 func (n *NullValue) Name() string { return "nullvalue" }
+
+// Version implements Versioner for the result cache key.
+func (n *NullValue) Version() string { return "1" }
 
 // Container implements Extractor.
 func (n *NullValue) Container() string { return "xtract-tabular" }

@@ -19,6 +19,7 @@ const (
 	EvFamilyStaging    = "family_staging"
 	EvFamilyStaged     = "family_staged"
 	EvBatchDispatched  = "batch_dispatched"
+	EvStepCacheHit     = "step_cache_hit"
 	EvTaskCompleted    = "task_completed"
 	EvTaskFailed       = "task_failed"
 	EvTaskLost         = "task_lost"

@@ -266,6 +266,14 @@ func (c *XtractClient) Extractors() ([]string, error) {
 	return resp.Extractors, err
 }
 
+// CacheStats fetches the extraction result cache statistics. Enabled is
+// false when the service runs without a cache.
+func (c *XtractClient) CacheStats() (api.CacheStatsResponse, error) {
+	var resp api.CacheStatsResponse
+	err := c.do(http.MethodGet, "/api/v1/cache", nil, &resp)
+	return resp, err
+}
+
 // Search queries the service's metadata index.
 func (c *XtractClient) Search(query string) ([]api.SearchHit, error) {
 	var resp api.SearchResponse

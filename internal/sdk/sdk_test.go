@@ -40,6 +40,22 @@ func TestSubmitParsesJobID(t *testing.T) {
 	}
 }
 
+func TestCacheStatsParsed(t *testing.T) {
+	ts := canned(t, map[string]string{
+		"/api/v1/cache": `{"enabled":true,"stats":{"hits":7,"misses":2,"evictions":1,"entries":4,"capacity":8}}`,
+	}, "")
+	defer ts.Close()
+	c := New(ts.URL, "")
+	resp, err := c.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || resp.Stats.Hits != 7 || resp.Stats.Misses != 2 ||
+		resp.Stats.Entries != 4 || resp.Stats.Capacity != 8 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
 func TestErrorEnvelopeSurfaced(t *testing.T) {
 	ts := canned(t, map[string]string{}, "")
 	defer ts.Close()

@@ -36,6 +36,10 @@ type StepResult struct {
 	OK        bool          `json:"ok"`
 	Err       string        `json:"err,omitempty"`
 	Duration  time.Duration `json:"duration"`
+	// Cached marks metadata replayed from the extraction result cache
+	// instead of a fresh extractor invocation — the provenance trail for
+	// warm-run records.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ErrInvalid is wrapped by all validation failures.
