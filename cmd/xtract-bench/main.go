@@ -20,9 +20,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workload sizes")
-	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache")
+	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump")
 	seed := flag.Int64("seed", 42, "random seed")
-	benchJSON := flag.String("benchjson", "", "write the cache cold/warm result as JSON to this file")
+	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache or pump) as JSON to this file")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's data series as CSV into this directory")
 	flag.Parse()
 
@@ -69,6 +69,45 @@ func main() {
 	}
 	if run("cache") {
 		cacheColdWarm(*quick, *seed, *benchJSON)
+	}
+	if run("pump") {
+		pumpOverhead(*quick, *seed, *benchJSON)
+	}
+}
+
+func pumpOverhead(quick bool, seed int64, jsonPath string) {
+	header("Orchestration overhead: no-op extractors, per-site dispatch")
+	families, sites := 300, 4
+	if quick {
+		families = 75
+	}
+	res, err := experiments.PumpOverhead(families, sites, seed)
+	if err != nil {
+		fmt.Printf("pump experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pipeline: %s  families: %d (%d sites)  steps: %d\n",
+		res.Pipeline, res.Families, res.Sites, res.Steps)
+	fmt.Printf("elapsed: %.1f ms  tasks/s: %.0f  pump wakeups: %d (%.2f/task)  idle: %d (%.3f/task)\n",
+		float64(res.Elapsed)/float64(time.Millisecond),
+		res.TasksPerSec, res.Wakeups, res.WakeupsPerTask,
+		res.IdleWakeups, res.IdleWakeupsPerTask)
+	writeCSV("pump_overhead",
+		[]string{"pipeline", "families", "sites", "steps", "elapsed_ms", "tasks_per_sec", "pump_wakeups", "wakeups_per_task", "idle_wakeups", "idle_wakeups_per_task"},
+		[][]string{{res.Pipeline, d(res.Families), d(res.Sites), d(int(res.Steps)),
+			f(float64(res.Elapsed) / float64(time.Millisecond)),
+			f(res.TasksPerSec), d(int(res.Wakeups)), f(res.WakeupsPerTask),
+			d(int(res.IdleWakeups)), f(res.IdleWakeupsPerTask)}})
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Printf("benchjson write failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

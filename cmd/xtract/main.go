@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -148,6 +149,7 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 8, "extraction workers")
 	cacheCap := fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	_ = fs.Parse(args)
 	if *root == "" {
 		return fmt.Errorf("-root is required")
@@ -168,9 +170,23 @@ func runServe(args []string) error {
 	srv.SetObserver(d.Obs)
 	srv.SetBaseContext(d.Ctx)
 	srv.EnableSearch(index.New(), d.Dest, "/metadata")
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling rides the API listener so one port serves both; off
+		// by default since the pprof endpoints disclose runtime internals.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Printf("pprof exposed at %s/debug/pprof/\n", *addr)
+	}
 	fmt.Printf("xtract service listening on %s (site 'local' → %s)\n", *addr, *root)
 	fmt.Printf("metrics exposed at %s/metrics\n", *addr)
-	return http.ListenAndServe(*addr, srv.Handler())
+	return http.ListenAndServe(*addr, handler)
 }
 
 // runSearch builds an index over a metadata output directory on disk

@@ -232,8 +232,6 @@ func TestFinishMarshalErrorDeadLetters(t *testing.T) {
 		jobID:    jobID,
 		states:   make(map[string]*famState),
 		staging:  make(map[string]*famState),
-		buckets:  make(map[[2]string][]stepPayload),
-		out:      make(map[string][]stepRef),
 		attempts: make(map[stepKey]int),
 	}
 	fam := family.Family{ID: "fam-nan", Store: "x", BasePath: "/"}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"xtract/internal/faas"
+	"xtract/internal/obs"
+	"xtract/internal/scheduler"
+)
+
+// This file is the dispatch half of the event-driven pipeline: one
+// dispatcher shard per endpoint site, fed ready steps by the pump over a
+// channel, owning its own batching buckets and outstanding-task set, and
+// reporting terminal tasks back through a shared event sink. The pump
+// never calls the FaaS fabric directly anymore — shards submit and
+// collect concurrently, so multi-site jobs overlap their control-plane
+// round trips instead of serializing them through one loop.
+
+// reconcileEvery is how often a shard cross-checks its outstanding tasks
+// against PollBatch. Completion notifications are the primary signal;
+// this is only the safety net for a notification lost to fabric-internal
+// races, so it can be slow without hurting latency.
+const reconcileEvery = 500 * time.Millisecond
+
+// feedDepth bounds the pump→shard step channel. The pump blocks (with
+// job-context cancellation) when a shard falls this far behind, which
+// back-pressures intake instead of growing memory without bound.
+const feedDepth = 1024
+
+// dispatchItem is one dispatch-ready step routed from the pump to a site
+// shard, stamped with the time it became ready so the shard can observe
+// ready→submitted dispatch latency.
+type dispatchItem struct {
+	extractor string
+	readyAt   time.Time
+	sp        stepPayload
+}
+
+// shardEvent is one notification from a dispatcher shard back to the
+// pump: either a terminal task (info plus the step refs it carried) or a
+// dispatch failure, whose steps never reached the fabric and must go
+// through the pump's retry/dead-letter path.
+type shardEvent struct {
+	taskID string
+	info   faas.TaskInfo
+	refs   []stepRef
+
+	// Dispatch-failure fields. When failed is set, info is meaningless
+	// and cause/detail describe why the steps could not be submitted.
+	failed bool
+	cause  string // "no_function" | "submit_error"
+	detail string
+}
+
+// shardEventSink fans events from every shard into the pump. The buffer
+// is unbounded and the wakeup token coalesced (the channel holds at most
+// one), so shards never block on a slow pump and the pump never misses
+// an event: it drains after each token and re-blocks.
+type shardEventSink struct {
+	mu    sync.Mutex
+	evs   []shardEvent
+	ready chan struct{}
+}
+
+func newShardEventSink() *shardEventSink {
+	return &shardEventSink{ready: make(chan struct{}, 1)}
+}
+
+// Ready returns the sink's coalesced wakeup channel.
+func (k *shardEventSink) Ready() <-chan struct{} { return k.ready }
+
+func (k *shardEventSink) push(ev shardEvent) {
+	k.mu.Lock()
+	k.evs = append(k.evs, ev)
+	k.mu.Unlock()
+	select {
+	case k.ready <- struct{}{}:
+	default:
+	}
+}
+
+// drain returns and clears every pending event, in arrival order.
+func (k *shardEventSink) drain() []shardEvent {
+	k.mu.Lock()
+	out := k.evs
+	k.evs = nil
+	k.mu.Unlock()
+	return out
+}
+
+func (k *shardEventSink) pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.evs)
+}
+
+// payloadBufPool recycles JSON encode buffers for task payloads,
+// validation records, and other hot-path marshals. Safe because every
+// consumer the pooled bytes are handed to (faas.SubmitBatch, queue.Send)
+// copies them before returning.
+var payloadBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// marshalPooled encodes v into a pooled buffer. The returned bytes alias
+// the buffer: pass them only to copying consumers, then release with
+// putPayloadBuf.
+func marshalPooled(v interface{}) ([]byte, *bytes.Buffer, error) {
+	buf := payloadBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		payloadBufPool.Put(buf)
+		return nil, nil, err
+	}
+	return buf.Bytes(), buf, nil
+}
+
+func putPayloadBuf(b *bytes.Buffer) { payloadBufPool.Put(b) }
+
+// dispatcher is one per-site dispatch shard. All fields below feed are
+// shard-local: only the shard goroutine touches them, so batching needs
+// no locks and shards share nothing but the event sink.
+type dispatcher struct {
+	s     *Service
+	jobID string
+	site  *Site
+	feed  chan dispatchItem
+	sink  *shardEventSink
+	comp  *faas.CompletionSink
+
+	buckets map[string][]dispatchItem // extractor -> pending steps
+	reqs    []faas.TaskRequest
+	refs    [][]stepRef
+	bufs    []*bytes.Buffer
+	readyAt []time.Time // earliest readyAt per pending request
+	out     map[string][]stepRef
+}
+
+func newDispatcher(s *Service, jobID string, site *Site, sink *shardEventSink) *dispatcher {
+	return &dispatcher{
+		s:       s,
+		jobID:   jobID,
+		site:    site,
+		feed:    make(chan dispatchItem, feedDepth),
+		sink:    sink,
+		comp:    faas.NewCompletionSink(),
+		buckets: make(map[string][]dispatchItem),
+		out:     make(map[string][]stepRef),
+	}
+}
+
+// run is the shard loop: drain whatever the pump has fed, flush it to
+// the fabric, and forward completion notifications, blocking between
+// bursts. The reconcile timer is armed only while tasks are outstanding.
+func (d *dispatcher) run(ctx context.Context) {
+	var reconcileCh <-chan time.Time
+	for {
+		if reconcileCh == nil && len(d.out) > 0 {
+			reconcileCh = d.s.clk.After(reconcileEvery)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case it := <-d.feed:
+			d.intake(it)
+		drained:
+			for {
+				select {
+				case it := <-d.feed:
+					d.intake(it)
+				default:
+					break drained
+				}
+			}
+			// The feed went momentarily quiet: the pump's burst is in, so
+			// partial batches won't fill soon — flush them now.
+			d.flushAll()
+		case <-d.comp.Ready():
+			for _, info := range d.comp.Drain() {
+				d.terminal(info.ID, info)
+			}
+		case <-reconcileCh:
+			reconcileCh = nil
+			d.reconcile()
+		}
+	}
+}
+
+// intake buckets one step; full Xtract batches become tasks immediately
+// and full funcX batches submit immediately, exactly as the paper's
+// batching layers prescribe.
+func (d *dispatcher) intake(it dispatchItem) {
+	d.buckets[it.extractor] = append(d.buckets[it.extractor], it)
+	if len(d.buckets[it.extractor]) >= d.s.cfg.XtractBatchSize {
+		d.makeTask(it.extractor)
+		if len(d.reqs) >= d.s.cfg.FuncXBatchSize {
+			d.submit()
+		}
+	}
+}
+
+// flushAll converts every partial bucket into a task and submits the
+// accumulated batch.
+func (d *dispatcher) flushAll() {
+	for ext := range d.buckets {
+		d.makeTask(ext)
+		if len(d.reqs) >= d.s.cfg.FuncXBatchSize {
+			d.submit()
+		}
+	}
+	if len(d.reqs) > 0 {
+		d.submit()
+	}
+}
+
+// makeTask turns up to one Xtract batch from the extractor's bucket into
+// a pending FaaS request. The extractor's container/endpoint tuple is
+// resolved through the registry first — an RDS query on first use,
+// served from cache afterwards (the Figure 3 t_xs cost). Resolution
+// failures go back to the pump as dispatch-failure events.
+func (d *dispatcher) makeTask(extractor string) {
+	items := d.buckets[extractor]
+	if len(items) == 0 {
+		delete(d.buckets, extractor)
+		return
+	}
+	n := d.s.cfg.XtractBatchSize
+	if n > len(items) {
+		n = len(items)
+	}
+	batch := items[:n]
+	if len(items) == n {
+		delete(d.buckets, extractor)
+	} else {
+		d.buckets[extractor] = items[n:]
+	}
+
+	steps := make([]stepPayload, 0, len(batch))
+	refs := make([]stepRef, 0, len(batch))
+	earliest := batch[0].readyAt
+	for _, it := range batch {
+		steps = append(steps, it.sp)
+		refs = append(refs, stepRef{
+			famID: it.sp.FamilyID,
+			step:  scheduler.Step{GroupID: it.sp.GroupID, Extractor: extractor},
+		})
+		if it.readyAt.Before(earliest) {
+			earliest = it.readyAt
+		}
+	}
+
+	fid, err := d.s.functionFor(extractor, d.site.Name)
+	if err == nil {
+		if _, rerr := d.s.cfg.Registry.ResolveExtractor(extractor); rerr != nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		d.sink.push(shardEvent{failed: true, cause: "no_function", detail: err.Error(), refs: refs})
+		return
+	}
+	payload, buf, merr := marshalPooled(taskPayload{
+		Extractor:  extractor,
+		Site:       d.site.Name,
+		Steps:      steps,
+		Checkpoint: d.s.cfg.Checkpoint,
+	})
+	if merr != nil {
+		d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: merr.Error(), refs: refs})
+		return
+	}
+	ep := ""
+	if cep := d.site.ComputeEndpoint(); cep != nil {
+		ep = cep.ID
+	}
+	d.reqs = append(d.reqs, faas.TaskRequest{FunctionID: fid, EndpointID: ep, Payload: payload})
+	d.refs = append(d.refs, refs)
+	d.bufs = append(d.bufs, buf)
+	d.readyAt = append(d.readyAt, earliest)
+}
+
+// submit sends the accumulated funcX batch and subscribes the shard's
+// completion sink to the new tasks. Submission failure loses the whole
+// batch: every step goes back to the pump for retry/dead-letter.
+func (d *dispatcher) submit() {
+	reqs, refs, bufs, readyAt := d.reqs, d.refs, d.bufs, d.readyAt
+	d.reqs, d.refs, d.bufs, d.readyAt = nil, nil, nil, nil
+	ids, err := d.s.cfg.FaaS.SubmitBatch(reqs)
+	for _, b := range bufs {
+		putPayloadBuf(b) // SubmitBatch copied every payload
+	}
+	if err != nil {
+		for _, r := range refs {
+			d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: err.Error(), refs: r})
+		}
+		return
+	}
+	now := d.s.clk.Now()
+	for i, id := range ids {
+		d.out[id] = refs[i]
+		d.s.obsDispatchLatency.ObserveDuration(now.Sub(readyAt[i]))
+		d.s.obs.Emitf(d.jobID, obs.EvBatchDispatched, "task=%s steps=%d endpoint=%s",
+			id, len(refs[i]), reqs[i].EndpointID)
+	}
+	d.s.obsPipelineDepth.Add(float64(len(ids)))
+	d.s.cfg.FaaS.Notify(ids, d.comp)
+}
+
+// terminal forwards one finished/lost task to the pump. The out-map
+// check makes notification and reconciliation idempotent: whichever path
+// sees the task first claims it.
+func (d *dispatcher) terminal(id string, info faas.TaskInfo) {
+	refs, ok := d.out[id]
+	if !ok {
+		return
+	}
+	delete(d.out, id)
+	d.s.obsPipelineDepth.Dec()
+	d.sink.push(shardEvent{taskID: id, info: info, refs: refs})
+}
+
+// reconcile is the PollBatch safety net behind the notification path:
+// it sweeps outstanding tasks so a completion whose notification was
+// lost still terminates the job, just late.
+func (d *dispatcher) reconcile() {
+	if len(d.out) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(d.out))
+	for id := range d.out {
+		ids = append(ids, id)
+	}
+	for _, info := range d.s.cfg.FaaS.PollBatch(ids) {
+		if info.ID == "" || !info.Status.Terminal() {
+			continue
+		}
+		d.terminal(info.ID, info)
+	}
+}

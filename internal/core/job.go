@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"xtract/internal/cache"
@@ -57,8 +58,24 @@ type JobStats struct {
 	// to extraction.
 	CacheHits   int64
 	CacheMisses int64
-	Elapsed     time.Duration
+	// PumpWakeups counts orchestration-loop wakeups: how many times the
+	// pump woke to look for work (loop iterations under the poll–sleep
+	// design; event-wait returns under the event-driven one).
+	// PumpIdleWakeups counts the subset that found nothing to do — pure
+	// control-loop overhead. The ratios over StepsProcessed are what the
+	// orchestration bench tracks.
+	PumpWakeups     int64
+	PumpIdleWakeups int64
+	Elapsed         time.Duration
 }
+
+// PipelineKind names the orchestration pipeline implementation, recorded
+// in benchmark output so perf trajectories compare like with like. The
+// poll–sleep pipeline (iterate every source, sleep 2 ms when idle, poll
+// the fabric for completions) was replaced by this event-driven one: the
+// pump blocks on wakeup channels and completion notifications, and
+// per-site dispatcher shards own batching and submission.
+const PipelineKind = "event-driven"
 
 // JobOptions carries per-job overrides.
 type JobOptions struct {
@@ -111,7 +128,12 @@ type retryItem struct {
 	staging bool
 }
 
-// pump is the single-threaded orchestration loop state for one job.
+// pump is the orchestration state for one job. Family state stays
+// single-threaded — only the pump goroutine touches states, staging,
+// attempts, backlog, and budget, which is what keeps the PR2 retry/
+// dead-letter and PR3 cache semantics intact — while batching,
+// submission, and completion collection live in per-site dispatcher
+// shards (dispatch.go) that the pump talks to over channels.
 type pump struct {
 	s     *Service
 	jobID string
@@ -122,12 +144,20 @@ type pump struct {
 	noCache   bool
 	states    map[string]*famState
 	staging   map[string]*famState
-	buckets   map[[2]string][]stepPayload // (site, extractor) -> steps
-	reqs      []faas.TaskRequest
-	refs      [][]stepRef
-	out       map[string][]stepRef // taskID -> refs
-	outIDs    []string
 	failedFam int64
+
+	// jobCtx scopes shard goroutines to this job; events fans their
+	// terminal-task and dispatch-failure notifications back in; shards
+	// holds one dispatcher per site, created on first use.
+	jobCtx  context.Context
+	events  *shardEventSink
+	shards  map[string]*dispatcher
+	shardWG sync.WaitGroup
+	// prefetchGate, when non-nil, pauses PrefetchDone reads briefly after
+	// a batch that held only other jobs' results: Nacking those re-signals
+	// the shared queue's ready channel, and the gate breaks the wakeup
+	// ping-pong that two staging jobs could otherwise spin on.
+	prefetchGate <-chan time.Time
 
 	// Job-scoped progress counters. The Service keeps matching counters,
 	// but those aggregate across every job the service has ever run;
@@ -148,6 +178,8 @@ type pump struct {
 	budget       int
 	retried      int64
 	deadLettered int64
+	wakeups      int64
+	idleWakeups  int64
 }
 
 // RunJob crawls the given repositories and orchestrates extraction until
@@ -179,7 +211,21 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 	}
 	jobID := s.cfg.Registry.CreateJob(names, s.clk.Now())
 	if idCh != nil {
-		idCh <- jobID
+		// Never let a slow (or absent) reader stall the job: the REST
+		// front end hands in an unbuffered channel, and a caller that
+		// abandons it must not wedge the pump before the first family is
+		// even crawled. Deliver asynchronously when not immediately
+		// writable, giving up if the job's context ends first.
+		select {
+		case idCh <- jobID:
+		default:
+			go func() {
+				select {
+				case idCh <- jobID:
+				case <-ctx.Done():
+				}
+			}()
+		}
 	}
 	s.obs.Emitf(jobID, obs.EvJobSubmitted, "repositories=%s", strings.Join(names, ","))
 	s.obsJobsActive.Inc()
@@ -227,6 +273,7 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 		}(spec)
 	}
 
+	jobCtx, cancelJob := context.WithCancel(ctx)
 	p := &pump{
 		s:        s,
 		jobID:    jobID,
@@ -235,75 +282,110 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 		noCache:  opts.NoCache,
 		states:   make(map[string]*famState),
 		staging:  make(map[string]*famState),
-		buckets:  make(map[[2]string][]stepPayload),
-		out:      make(map[string][]stepRef),
+		jobCtx:   jobCtx,
+		events:   newShardEventSink(),
+		shards:   make(map[string]*dispatcher),
 		attempts: make(map[stepKey]int),
 		budget:   s.retry.JobBudget,
 	}
+	defer func() {
+		cancelJob()
+		p.shardWG.Wait()
+	}()
+	// Endpoint liveness is scanned on its own timer, decoupled from pump
+	// progress, so tasks stranded on a dead allocation surface as LOST —
+	// and wake the pump through their completion notification — even
+	// while the pump is busy with a submission burst.
+	go func() {
+		interval := s.cfg.FaaS.HeartbeatTimeout / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-s.clk.After(interval):
+				s.cfg.FaaS.CheckHeartbeats()
+			}
+		}
+	}()
 	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
 		j.State = registry.JobExtracting
 	})
 
+	// The pump is event-driven: each cycle drains every actionable source
+	// to empty, then blocks in await until a wakeup channel signals. The
+	// wakeup/idle split is the orchestration bench's headline number — an
+	// idle wakeup means a signal fired with nothing for this job to do
+	// (essentially only foreign results on the shared prefetch queue).
 	var crawlStats crawler.Stats
 	crawlsPending := len(repos)
+	woke := "start"
 	for {
-		if err := ctx.Err(); err != nil {
+		progress := false
+		for {
+			pass := false
+			// Collect finished crawls without blocking.
+			for crawlsPending > 0 {
+				select {
+				case stats := <-crawlDone:
+					crawlStats.DirsListed += stats.DirsListed
+					crawlStats.FilesSeen += stats.FilesSeen
+					crawlStats.GroupsFormed += stats.GroupsFormed
+					crawlStats.FamiliesEmitted += stats.FamiliesEmitted
+					crawlStats.BytesSeen += stats.BytesSeen
+					crawlStats.ListErrors += stats.ListErrors
+					crawlsPending--
+					pass = true
+					continue
+				case err := <-crawlErr:
+					s.failJob(jobID, err)
+					return JobStats{JobID: jobID}, err
+				default:
+				}
+				break
+			}
+			if p.intakeFamilies() {
+				pass = true
+			}
+			if p.intakeStaged() {
+				pass = true
+			}
+			if p.intakeRetries() {
+				pass = true
+			}
+			if p.handleEvents() {
+				pass = true
+			}
+			if !pass {
+				break
+			}
+			progress = true
+		}
+		// The job-start drain and crawl completions are work in themselves
+		// even when no step became actionable; anything else that woke the
+		// pump for nothing is counted as idle overhead.
+		if !progress && woke != "start" && woke != "crawl" {
+			p.idleWakeups++
+			s.obsPumpWakeups.With("idle").Inc()
+		}
+		// Termination: nothing crawling, no live or staging families, no
+		// retries pending, no shard events in flight, and the family queue
+		// drained. Families stay in p.states until their plan resolves, so
+		// an empty state map also means no outstanding shard work.
+		if crawlsPending == 0 && len(p.states) == 0 && len(p.staging) == 0 &&
+			len(p.backlog) == 0 && p.events.pending() == 0 && famQ.Len() == 0 {
+			break
+		}
+		var err error
+		woke, err = p.await(ctx, crawlDone, crawlErr, &crawlStats, &crawlsPending)
+		if err != nil {
 			s.failJob(jobID, err)
 			return JobStats{JobID: jobID}, err
 		}
-		progress := false
-		// Collect finished crawls without blocking.
-		for crawlsPending > 0 {
-			select {
-			case stats := <-crawlDone:
-				crawlStats.DirsListed += stats.DirsListed
-				crawlStats.FilesSeen += stats.FilesSeen
-				crawlStats.GroupsFormed += stats.GroupsFormed
-				crawlStats.FamiliesEmitted += stats.FamiliesEmitted
-				crawlStats.BytesSeen += stats.BytesSeen
-				crawlStats.ListErrors += stats.ListErrors
-				crawlsPending--
-				progress = true
-				continue
-			case err := <-crawlErr:
-				s.failJob(jobID, err)
-				return JobStats{JobID: jobID}, err
-			default:
-			}
-			break
-		}
-
-		if p.intakeFamilies() {
-			progress = true
-		}
-		if p.intakeStaged() {
-			progress = true
-		}
-		if p.intakeRetries() {
-			progress = true
-		}
-		if p.pollTasks() {
-			progress = true
-		}
-		// Flush: batch-complete buckets always; partial ones when idle.
-		if p.flush(!progress) {
-			progress = true
-		}
-
-		if !progress {
-			// Note: no check on PrefetchDone here — every staging result
-			// this job still owes is tracked in p.staging, and messages for
-			// other jobs on the shared queue must not hold this one open.
-			if crawlsPending == 0 && len(p.states) == 0 && len(p.staging) == 0 &&
-				len(p.outIDs) == 0 && len(p.backlog) == 0 &&
-				famQ.Len() == 0 {
-				break
-			}
-			// While idle, scan endpoint liveness so tasks stranded on a
-			// dead allocation surface as LOST and get resubmitted.
-			s.cfg.FaaS.CheckHeartbeats()
-			s.clk.Sleep(2 * time.Millisecond)
-		}
+		p.wakeups++
+		s.obsPumpWakeups.With(woke).Inc()
 	}
 
 	elapsed := s.clk.Since(p.start)
@@ -342,6 +424,8 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 		BytesStaged:       p.bytesStaged,
 		CacheHits:         p.cacheHits,
 		CacheMisses:       p.cacheMisses,
+		PumpWakeups:       p.wakeups,
+		PumpIdleWakeups:   p.idleWakeups,
 		Elapsed:           elapsed,
 	}, nil
 }
@@ -369,7 +453,19 @@ func (s *Service) failJob(jobID string, err error) {
 func (p *pump) intakeFamilies() bool {
 	msgs := p.famQ.Receive(64, 5*time.Minute)
 	if len(msgs) == 0 {
-		return false
+		// Empty queue with a pending ready token means an earlier pass
+		// already consumed the messages the token announced. Absorb the
+		// stale token so it doesn't wake the pump for nothing, then
+		// re-check: a send racing the absorb re-signals the channel, so
+		// no wakeup is ever lost.
+		select {
+		case <-p.famQ.Ready():
+			msgs = p.famQ.Receive(64, 5*time.Minute)
+		default:
+		}
+		if len(msgs) == 0 {
+			return false
+		}
 	}
 	for _, m := range msgs {
 		var fam family.Family
@@ -637,11 +733,145 @@ func (p *pump) intakeRetries() bool {
 	return progress
 }
 
+// await blocks until some event source signals work for this job: a
+// crawl finishing, the family queue, the shared prefetch-done queue
+// (only while this job is staging), a shard event, the earliest retry
+// backoff elapsing, or the foreign-result gate reopening. It returns a
+// low-cardinality reason label for the wakeup counter.
+func (p *pump) await(ctx context.Context, crawlDone <-chan crawler.Stats, crawlErr <-chan error,
+	crawlStats *crawler.Stats, crawlsPending *int) (string, error) {
+	var retryCh <-chan time.Time
+	if len(p.backlog) > 0 {
+		next := p.backlog[0].at
+		for _, it := range p.backlog[1:] {
+			if it.at.Before(next) {
+				next = it.at
+			}
+		}
+		d := next.Sub(p.s.clk.Now())
+		if d < 0 {
+			d = 0
+		}
+		retryCh = p.s.clk.After(d)
+	}
+	cd, ce := crawlDone, crawlErr
+	if *crawlsPending == 0 {
+		cd, ce = nil, nil
+	}
+	// The shared prefetch-done queue only matters while this job has
+	// families staging; while the foreign-result gate is closed, wait for
+	// it to reopen instead of the queue's ready channel.
+	var prefetchReady <-chan struct{}
+	if p.prefetchGate == nil && len(p.staging) > 0 {
+		prefetchReady = p.s.cfg.PrefetchDone.Ready()
+	}
+	select {
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case stats := <-cd:
+		crawlStats.DirsListed += stats.DirsListed
+		crawlStats.FilesSeen += stats.FilesSeen
+		crawlStats.GroupsFormed += stats.GroupsFormed
+		crawlStats.FamiliesEmitted += stats.FamiliesEmitted
+		crawlStats.BytesSeen += stats.BytesSeen
+		crawlStats.ListErrors += stats.ListErrors
+		*crawlsPending--
+		return "crawl", nil
+	case err := <-ce:
+		return "", err
+	case <-p.famQ.Ready():
+		return "families", nil
+	case <-prefetchReady:
+		return "staged", nil
+	case <-p.events.Ready():
+		return "events", nil
+	case <-retryCh:
+		return "retry", nil
+	case <-p.prefetchGate:
+		p.prefetchGate = nil
+		return "staged", nil
+	}
+}
+
+// handleEvents drains the shard event sink: terminal tasks resolve
+// against family plans, dispatch failures go through retry/dead-letter.
+func (p *pump) handleEvents() bool {
+	evs := p.events.drain()
+	if len(evs) == 0 {
+		// Absorb a stale ready token (same protocol as intakeFamilies):
+		// the events it announced were drained by an earlier pass.
+		select {
+		case <-p.events.Ready():
+			evs = p.events.drain()
+		default:
+		}
+		if len(evs) == 0 {
+			return false
+		}
+	}
+	for _, ev := range evs {
+		if ev.failed {
+			for _, r := range ev.refs {
+				if st, ok := p.states[r.famID]; ok {
+					p.retryOrDeadLetter(st, r.step, ev.cause, ev.detail)
+					p.finishIfDone(st)
+				}
+			}
+			continue
+		}
+		p.handleTerminal(ev.taskID, ev.info, ev.refs)
+	}
+	return true
+}
+
+// shardFor returns (creating on first use) the dispatcher shard that
+// owns the site's batching buckets and outstanding-task set.
+func (p *pump) shardFor(site *Site) *dispatcher {
+	if d, ok := p.shards[site.Name]; ok {
+		return d
+	}
+	d := newDispatcher(p.s, p.jobID, site, p.events)
+	p.shards[site.Name] = d
+	p.shardWG.Add(1)
+	go func() {
+		defer p.shardWG.Done()
+		d.run(p.jobCtx)
+	}()
+	return d
+}
+
+// dispatch routes one ready step to its site's shard. The send blocks
+// only when the shard is feedDepth steps behind — back-pressure, bounded
+// by the shard's own drain rate — and aborts if the job ends first.
+func (p *pump) dispatch(st *famState, step scheduler.Step, files map[string]string) {
+	it := dispatchItem{
+		extractor: step.Extractor,
+		readyAt:   p.s.clk.Now(),
+		sp: stepPayload{
+			FamilyID:    st.fam.ID,
+			GroupID:     step.GroupID,
+			Files:       files,
+			DeleteAfter: st.staged && st.site.DeleteStaged,
+			FetchFrom:   st.fetchFrom,
+		},
+	}
+	select {
+	case p.shardFor(st.site).feed <- it:
+	case <-p.jobCtx.Done():
+	}
+}
+
 // intakeStaged consumes prefetcher results and readies staged families.
 // Results for families this pump is not staging belong to a concurrent
 // job sharing the queue: they are made visible again (Nack), never
-// deleted, and do not count as progress.
+// deleted, and do not count as progress. A batch of only such foreign
+// results closes the prefetch gate briefly — each Nack re-signals the
+// queue's ready channel, and without the gate two staging jobs would
+// ping-pong wakeups at full speed.
 func (p *pump) intakeStaged() bool {
+	if len(p.staging) == 0 || p.prefetchGate != nil {
+		return false
+	}
 	msgs := p.s.cfg.PrefetchDone.Receive(64, 5*time.Minute)
 	if len(msgs) == 0 {
 		return false
@@ -676,14 +906,17 @@ func (p *pump) intakeStaged() bool {
 		}
 		_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
 	}
+	if !progress {
+		p.prefetchGate = p.s.clk.After(2 * time.Millisecond)
+	}
 	return progress
 }
 
-// bucketReadySteps drains the family plan's pending steps into the
-// per-(site, extractor) Xtract batching buckets. Each first-attempt step
-// is offered to the extraction result cache on the way: a hit completes
-// the step in place — no bucket, no FaaS task — and may unlock follow-on
-// steps, which the loop then also drains.
+// bucketReadySteps drains the family plan's pending steps toward the
+// site's dispatcher shard, which owns per-extractor batching. Each
+// first-attempt step is offered to the extraction result cache on the
+// way: a hit completes the step in place — no shard, no FaaS task — and
+// may unlock follow-on steps, which the loop then also drains.
 func (p *pump) bucketReadySteps(st *famState) {
 	for {
 		step, ok := st.plan.Next()
@@ -700,15 +933,7 @@ func (p *pump) bucketReadySteps(st *famState) {
 				p.s.obsCacheMisses.Inc()
 			}
 		}
-		groupFiles := p.groupFiles(st, step.GroupID)
-		key := [2]string{st.site.Name, step.Extractor}
-		p.buckets[key] = append(p.buckets[key], stepPayload{
-			FamilyID:    st.fam.ID,
-			GroupID:     step.GroupID,
-			Files:       groupFiles,
-			DeleteAfter: st.staged && st.site.DeleteStaged,
-			FetchFrom:   st.fetchFrom,
-		})
+		p.dispatch(st, step, p.groupFiles(st, step.GroupID))
 	}
 }
 
@@ -782,135 +1007,8 @@ func (p *pump) groupFiles(st *famState, groupID string) map[string]string {
 	return out
 }
 
-// flush converts batching buckets into FaaS tasks and submits accumulated
-// tasks. Full Xtract batches and full funcX batches always flush; partial
-// ones flush only when force is set (idle loop).
-func (p *pump) flush(force bool) bool {
-	progress := false
-	for key, steps := range p.buckets {
-		for len(steps) >= p.s.cfg.XtractBatchSize || (force && len(steps) > 0) {
-			n := p.s.cfg.XtractBatchSize
-			if n > len(steps) {
-				n = len(steps)
-			}
-			batch := steps[:n]
-			steps = steps[n:]
-			if p.enqueueTask(key[0], key[1], batch) {
-				progress = true
-			}
-		}
-		if len(steps) == 0 {
-			delete(p.buckets, key)
-		} else {
-			p.buckets[key] = steps
-		}
-	}
-	if len(p.reqs) >= p.s.cfg.FuncXBatchSize || (force && len(p.reqs) > 0) {
-		p.submit()
-		progress = true
-	}
-	return progress
-}
-
-// enqueueTask builds one FaaS task from an Xtract batch. The extractor's
-// container/endpoint tuple is resolved through the registry first — an
-// RDS query on first use, served from cache afterwards (the Figure 3
-// t_xs cost).
-func (p *pump) enqueueTask(site, extractor string, steps []stepPayload) bool {
-	fid, err := p.s.functionFor(extractor, site)
-	if err == nil {
-		if _, rerr := p.s.cfg.Registry.ResolveExtractor(extractor); rerr != nil {
-			err = rerr
-		}
-	}
-	if err != nil {
-		// No function for this extractor here: retry (registration may be
-		// in flight after an endpoint swap) and eventually dead-letter.
-		for _, sp := range steps {
-			if st, ok := p.states[sp.FamilyID]; ok {
-				p.retryOrDeadLetter(st,
-					scheduler.Step{GroupID: sp.GroupID, Extractor: extractor},
-					"no_function", err.Error())
-				p.finishIfDone(st)
-			}
-		}
-		return false
-	}
-	payload, _ := json.Marshal(taskPayload{
-		Extractor:  extractor,
-		Site:       site,
-		Steps:      steps,
-		Checkpoint: p.s.cfg.Checkpoint,
-	})
-	var refs []stepRef
-	ep := ""
-	if target, ok := p.s.Site(site); ok {
-		if cep := target.ComputeEndpoint(); cep != nil {
-			ep = cep.ID
-		}
-	}
-	for _, sp := range steps {
-		refs = append(refs, stepRef{
-			famID: sp.FamilyID,
-			step:  scheduler.Step{GroupID: sp.GroupID, Extractor: extractor},
-		})
-	}
-	p.reqs = append(p.reqs, faas.TaskRequest{FunctionID: fid, EndpointID: ep, Payload: payload})
-	p.refs = append(p.refs, refs)
-	return true
-}
-
-// submit sends the accumulated funcX batch.
-func (p *pump) submit() {
-	ids, err := p.s.cfg.FaaS.SubmitBatch(p.reqs)
-	if err != nil {
-		// Submission failure loses the whole batch: retry every step with
-		// backoff (or dead-letter those out of attempts).
-		for _, refs := range p.refs {
-			for _, r := range refs {
-				if st, ok := p.states[r.famID]; ok {
-					p.retryOrDeadLetter(st, r.step, "submit_error", err.Error())
-					p.finishIfDone(st)
-				}
-			}
-		}
-	} else {
-		for i, id := range ids {
-			p.out[id] = p.refs[i]
-			p.outIDs = append(p.outIDs, id)
-			p.s.obs.Emitf(p.jobID, obs.EvBatchDispatched, "task=%s steps=%d endpoint=%s",
-				id, len(p.refs[i]), p.reqs[i].EndpointID)
-		}
-	}
-	p.reqs = nil
-	p.refs = nil
-}
-
-// pollTasks polls outstanding FaaS tasks and processes terminal results.
-func (p *pump) pollTasks() bool {
-	if len(p.outIDs) == 0 {
-		return false
-	}
-	infos := p.s.cfg.FaaS.PollBatch(p.outIDs)
-	var remaining []string
-	progress := false
-	for i, info := range infos {
-		id := p.outIDs[i]
-		if info.ID == "" || !info.Status.Terminal() {
-			remaining = append(remaining, id)
-			continue
-		}
-		progress = true
-		p.handleTerminal(id, info)
-	}
-	p.outIDs = remaining
-	return progress
-}
-
 // handleTerminal resolves one finished/lost task against family plans.
-func (p *pump) handleTerminal(id string, info faas.TaskInfo) {
-	refs := p.out[id]
-	delete(p.out, id)
+func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 	touched := make(map[string]*famState)
 
 	switch info.Status {
@@ -1031,7 +1129,7 @@ func (p *pump) finishIfDone(st *famState) {
 		Metadata:  st.results,
 		Extracted: st.steps,
 	}
-	body, err := json.Marshal(rec)
+	body, buf, err := marshalPooled(rec)
 	if err != nil {
 		// Unserializable metadata must not vanish silently: surface it
 		// through the dead-letter path and fail the family.
@@ -1039,6 +1137,7 @@ func (p *pump) finishIfDone(st *famState) {
 		return
 	}
 	p.s.cfg.ResultQueue.Send(body)
+	putPayloadBuf(buf) // Send copied the record
 	p.familiesDone++
 	p.s.FamiliesDone.Inc()
 	p.s.obsFamiliesDone.Inc()

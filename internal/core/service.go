@@ -216,6 +216,9 @@ type Service struct {
 	obsCrawlFamilies    *obs.Counter
 	obsCrawlBytes       *obs.Counter
 	obsCrawlErrors      *obs.Counter
+	obsPumpWakeups      *obs.CounterVec
+	obsDispatchLatency  *obs.Histogram
+	obsPipelineDepth    *obs.Gauge
 }
 
 // New constructs the service. Call AddSite and RegisterExtractors before
@@ -287,6 +290,12 @@ func New(cfg Config) *Service {
 		"File bytes discovered by crawlers.")
 	s.obsCrawlErrors = reg.Counter("xtract_crawl_list_errors_total",
 		"Directory listings that failed during crawls.")
+	s.obsPumpWakeups = reg.CounterVec("xtract_pump_wakeups_total",
+		"Orchestration-loop wakeups by triggering event source.", "reason")
+	s.obsDispatchLatency = reg.Histogram("xtract_dispatch_latency_seconds",
+		"Time from a step becoming dispatch-ready to its FaaS batch submission.", nil)
+	s.obsPipelineDepth = reg.Gauge("xtract_pipeline_depth",
+		"FaaS tasks in flight across all dispatcher shards.")
 	if cfg.Cache != nil {
 		cfg.Cache.SetEvictionHook(func() { s.obsCacheEvictions.Inc() })
 	}

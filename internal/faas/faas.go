@@ -130,21 +130,79 @@ type task struct {
 	info    TaskInfo
 	payload []byte
 	doneCh  chan struct{}
+	// subs are completion sinks to notify when the task turns terminal.
+	subs []*CompletionSink
 }
 
 // setStatus transitions the task, returning false if it was already
 // terminal (e.g., marked lost while the handler was still running).
 func (t *task) setStatus(s TaskStatus) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.info.Status.Terminal() {
+		t.mu.Unlock()
 		return false
 	}
 	t.info.Status = s
+	var info TaskInfo
+	var subs []*CompletionSink
 	if s.Terminal() {
 		close(t.doneCh)
+		info = t.info
+		subs, t.subs = t.subs, nil
+	}
+	t.mu.Unlock()
+	for _, sub := range subs {
+		sub.push(info)
 	}
 	return true
+}
+
+// CompletionSink is a terminal-event subscription endpoint: tasks
+// registered on it via Service.Notify deliver their final TaskInfo here
+// the moment they turn terminal. Wakeups are coalesced (Ready holds at
+// most one token) and delivery never blocks the fabric, so one sink can
+// fan in completions from any number of tasks; consumers drain with
+// Drain after each Ready token.
+type CompletionSink struct {
+	mu    sync.Mutex
+	done  []TaskInfo
+	ready chan struct{}
+}
+
+// NewCompletionSink returns an empty sink.
+func NewCompletionSink() *CompletionSink {
+	return &CompletionSink{ready: make(chan struct{}, 1)}
+}
+
+// Ready returns the sink's coalesced wakeup channel: a token arrives when
+// completions are pending. Consume the token, Drain, and block again.
+func (c *CompletionSink) Ready() <-chan struct{} { return c.ready }
+
+// Drain returns and clears every pending completion, in arrival order.
+func (c *CompletionSink) Drain() []TaskInfo {
+	c.mu.Lock()
+	out := c.done
+	c.done = nil
+	c.mu.Unlock()
+	return out
+}
+
+// Pending reports how many completions await Drain.
+func (c *CompletionSink) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// push appends one completion and sets the wakeup token (non-blocking).
+func (c *CompletionSink) push(info TaskInfo) {
+	c.mu.Lock()
+	c.done = append(c.done, info)
+	c.mu.Unlock()
+	select {
+	case c.ready <- struct{}{}:
+	default:
+	}
 }
 
 // Service is the central FaaS web service.
@@ -522,7 +580,40 @@ func (s *Service) taskFinished(t *task, result []byte, err error) {
 		s.obsCompleted.Inc()
 	}
 	close(t.doneCh)
+	info := t.info
+	var subs []*CompletionSink
+	subs, t.subs = t.subs, nil
 	t.mu.Unlock()
+	for _, sub := range subs {
+		sub.push(info)
+	}
 	s.TasksCompleted.Inc()
 	s.obsTaskLatency.ObserveDuration(latency)
+}
+
+// Notify subscribes sink to the terminal events of the given tasks: each
+// task's final TaskInfo is pushed to the sink exactly once, when it turns
+// terminal. Tasks that are already terminal at subscription time are
+// delivered immediately, so there is no subscribe/complete race — callers
+// may Notify after SubmitBatch returns without missing completions.
+// Unknown IDs are ignored. Unlike PollBatch, Notify models the fabric's
+// internal event bus and charges no control-plane cost.
+func (s *Service) Notify(ids []string, sink *CompletionSink) {
+	for _, id := range ids {
+		s.mu.Lock()
+		t, ok := s.tasks[id]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		t.mu.Lock()
+		if t.info.Status.Terminal() {
+			info := t.info
+			t.mu.Unlock()
+			sink.push(info)
+			continue
+		}
+		t.subs = append(t.subs, sink)
+		t.mu.Unlock()
+	}
 }

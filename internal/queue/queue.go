@@ -60,6 +60,9 @@ type Queue struct {
 	sent     int64
 	deleted  int64
 	faults   FaultHook
+	// ready carries coalesced wakeup tokens: one token is set (never
+	// more) whenever messages become visible. See Ready.
+	ready chan struct{}
 }
 
 // SetFaults installs (or clears, with nil) the queue's fault hook.
@@ -71,7 +74,30 @@ func (q *Queue) SetFaults(h FaultHook) {
 
 // New returns an empty queue named name using clk for visibility expiry.
 func New(name string, clk clock.Clock) *Queue {
-	return &Queue{name: name, clk: clk, inflight: make(map[string]*entry)}
+	return &Queue{
+		name:     name,
+		clk:      clk,
+		inflight: make(map[string]*entry),
+		ready:    make(chan struct{}, 1),
+	}
+}
+
+// Ready returns the queue's wakeup channel: a token arrives whenever
+// messages become visible — Send/SendBatch, Nack, and visibility-timeout
+// reclaim all signal it. Tokens are coalesced (the channel holds at most
+// one), so a consumer must treat a token as "look now", drain with
+// Receive until empty, and then block on Ready again; any message that
+// arrives in between re-signals the channel. Consumers must never infer
+// queue depth from token counts.
+func (q *Queue) Ready() <-chan struct{} { return q.ready }
+
+// notifyLocked sets the coalesced wakeup token. Callers hold q.mu; the
+// send is non-blocking so signaling never stalls queue operations.
+func (q *Queue) notifyLocked() {
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
 }
 
 // Name returns the queue name.
@@ -93,6 +119,7 @@ func (q *Queue) sendLocked(body []byte) string {
 		enqueuedAt: q.clk.Now(),
 	}
 	q.visible = append(q.visible, e)
+	q.notifyLocked()
 	return e.id
 }
 
@@ -114,13 +141,18 @@ func (q *Queue) reclaimLocked() {
 		return
 	}
 	now := q.clk.Now()
+	reclaimed := false
 	for receipt, e := range q.inflight {
 		if !e.expiresAt.After(now) {
 			delete(q.inflight, receipt)
 			e.inflight = false
 			e.receipt = ""
 			q.visible = append(q.visible, e)
+			reclaimed = true
 		}
+	}
+	if reclaimed {
+		q.notifyLocked()
 	}
 }
 
@@ -188,6 +220,7 @@ func (q *Queue) Nack(receipt string) error {
 	e.inflight = false
 	e.receipt = ""
 	q.visible = append(q.visible, e)
+	q.notifyLocked()
 	return nil
 }
 

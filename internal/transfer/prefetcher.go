@@ -95,9 +95,14 @@ func (p *Prefetcher) worker(ctx context.Context) {
 		}
 		msgs := p.in.Receive(p.BatchWindow, p.Visibility)
 		if len(msgs) == 0 {
+			// Block on the queue's wakeup channel instead of sleeping a
+			// fixed interval; PollInterval remains only as a reconciliation
+			// backstop (e.g., visibility-timeout reclaims racing a token
+			// another worker consumed).
 			select {
 			case <-ctx.Done():
 				return
+			case <-p.in.Ready():
 			case <-p.clk.After(p.PollInterval):
 			}
 			continue
