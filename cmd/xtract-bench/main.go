@@ -20,9 +20,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workload sizes")
-	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump")
+	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump,journal")
 	seed := flag.Int64("seed", 42, "random seed")
-	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache or pump) as JSON to this file")
+	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache, pump, or journal) as JSON to this file")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's data series as CSV into this directory")
 	flag.Parse()
 
@@ -72,6 +72,71 @@ func main() {
 	}
 	if run("pump") {
 		pumpOverhead(*quick, *seed, *benchJSON)
+	}
+	if run("journal") {
+		journalOverhead(*quick, *seed, *benchJSON)
+	}
+}
+
+func journalOverhead(quick bool, seed int64, jsonPath string) {
+	header("Durability tax: pump workload with the job journal off vs on")
+	families, sites, iters := 300, 4, 15
+	replaySizes := []int{1000, 10000, 50000}
+	if quick {
+		families, iters = 75, 2
+		replaySizes = []int{500, 2000, 5000}
+	}
+	res, err := experiments.JournalOverhead(families, sites, iters, seed, replaySizes)
+	if err != nil {
+		fmt.Printf("journal experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pipeline: %s  families: %d (%d sites)  steps: %d  (best of %d)\n",
+		res.Pipeline, res.Families, res.Sites, res.Steps, res.Iterations)
+	fmt.Printf("journal off: %.1f ms (%.0f tasks/s)   journal on: %.1f ms (%.0f tasks/s)   overhead: %+.2f%%\n",
+		float64(res.BaseElapsed)/float64(time.Millisecond), res.BaseTasksPerSec,
+		float64(res.JournalElapsed)/float64(time.Millisecond), res.JournalTasksPerSec,
+		res.OverheadPct)
+	fmt.Printf("group commit: %d appends in %d fsync batches (%.1f records/fsync)\n",
+		res.Appends, res.Fsyncs, res.AppendsPerFsync)
+	writeCSV("journal_overhead",
+		[]string{"pipeline", "families", "sites", "steps", "base_ms", "base_tasks_per_sec", "journal_ms", "journal_tasks_per_sec", "overhead_pct", "appends", "fsyncs", "appends_per_fsync"},
+		[][]string{{res.Pipeline, d(res.Families), d(res.Sites), d(int(res.Steps)),
+			f(float64(res.BaseElapsed) / float64(time.Millisecond)), f(res.BaseTasksPerSec),
+			f(float64(res.JournalElapsed) / float64(time.Millisecond)), f(res.JournalTasksPerSec),
+			f(res.OverheadPct), d(int(res.Appends)), d(int(res.Fsyncs)), f(res.AppendsPerFsync)}})
+	fmt.Println("recovery time vs log length (cold Replay of a synthetic live-job log):")
+	var rows [][]string
+	for _, pt := range res.Replay {
+		mode := "full scan"
+		if pt.Compacted {
+			mode = "compacted"
+		}
+		fmt.Printf("  %7d records (%s): %8.2f ms  (%.0f records/s, %d segments applied %d",
+			pt.RecordsWritten, mode,
+			float64(pt.Elapsed)/float64(time.Millisecond), pt.RecordsPerSec,
+			pt.Segments, pt.RecordsApplied)
+		if pt.SnapshotUsed != "" {
+			fmt.Printf(", snapshot %s", pt.SnapshotUsed)
+		}
+		fmt.Println(")")
+		rows = append(rows, []string{d(int(pt.RecordsWritten)), fmt.Sprint(pt.Compacted),
+			d(int(pt.RecordsApplied)), d(pt.Segments),
+			f(float64(pt.Elapsed) / float64(time.Millisecond)), f(pt.RecordsPerSec)})
+	}
+	writeCSV("journal_replay_curve",
+		[]string{"records_written", "compacted", "records_applied", "segments", "replay_ms", "records_per_sec"},
+		rows)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Printf("benchjson write failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

@@ -3,7 +3,7 @@
 // It can also serve the REST API for SDK-driven jobs.
 //
 //	xtract extract -root DIR [-out DIR] [-grouper matio] [-workers 8]
-//	xtract serve   -root DIR -addr :8080 [-cache N]
+//	xtract serve   -root DIR -addr :8080 [-cache N] [-journal DIR]
 //	xtract extractors
 package main
 
@@ -14,6 +14,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"xtract/internal/api"
@@ -23,6 +25,8 @@ import (
 	"xtract/internal/deploy"
 	"xtract/internal/extractors"
 	"xtract/internal/index"
+	"xtract/internal/journal"
+	"xtract/internal/queue"
 	"xtract/internal/store"
 	"xtract/internal/validate"
 )
@@ -58,7 +62,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xtract extract -root DIR [-out DIR] [-grouper single|extension|directory|matio] [-workers N] [-validator passthrough|mdf]
   xtract search  -metadata DIR -q QUERY
-  xtract serve   -root DIR [-addr :8080] [-cache N]
+  xtract serve   -root DIR [-addr :8080] [-cache N] [-journal DIR]
   xtract extractors`)
 }
 
@@ -149,6 +153,7 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 8, "extraction workers")
 	cacheCap := fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+	journalDir := fs.String("journal", "", "durable job journal directory (enables crash recovery)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	_ = fs.Parse(args)
 	if *root == "" {
@@ -159,9 +164,27 @@ func runServe(args []string) error {
 		return err
 	}
 	clk := clock.NewReal()
-	d, err := deploy.New(context.Background(), clk, []deploy.SiteSpec{
+
+	// SIGINT/SIGTERM begin a graceful shutdown: stop accepting requests,
+	// flush the journal, and wind down the deployment's goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		jdir, err := journal.OSDir(*journalDir)
+		if err != nil {
+			return err
+		}
+		jnl, err = journal.Open(jdir, journal.Options{Clock: clk})
+		if err != nil {
+			return err
+		}
+	}
+
+	d, err := deploy.New(ctx, clk, []deploy.SiteSpec{
 		{Name: "local", Store: src, Workers: *workers},
-	}, deploy.Options{CacheCapacity: *cacheCap})
+	}, deploy.Options{CacheCapacity: *cacheCap, Journal: jnl})
 	if err != nil {
 		return err
 	}
@@ -170,6 +193,28 @@ func runServe(args []string) error {
 	srv.SetObserver(d.Obs)
 	srv.SetBaseContext(d.Ctx)
 	srv.EnableSearch(index.New(), d.Dest, "/metadata")
+
+	if jnl != nil {
+		lib := d.Library
+		status, err := d.Service.Recover(d.Ctx, core.RecoveryOptions{
+			Grouper:  func(name string) (crawler.GroupingFunc, error) { return grouperByName(name, lib) },
+			OnResume: srv.TrackJob,
+			Queues: []*queue.Queue{
+				d.Queues.Families, d.Queues.Prefetch,
+				d.Queues.PrefetchDone, d.Queues.Results,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("journal: %d records replayed (%d segments", status.Records, status.Segments)
+		if status.TornTail {
+			fmt.Printf(", torn tail tolerated")
+		}
+		fmt.Printf("); recovery: %d resumed, %d terminal, %d cancelled, %d failed, %d steps reconciled\n",
+			status.Resumed, status.Terminal, status.Cancelled, status.Failed, status.StepsReconciled)
+	}
+
 	handler := srv.Handler()
 	if *pprofOn {
 		// Profiling rides the API listener so one port serves both; off
@@ -186,7 +231,29 @@ func runServe(args []string) error {
 	}
 	fmt.Printf("xtract service listening on %s (site 'local' → %s)\n", *addr, *root)
 	fmt.Printf("metrics exposed at %s/metrics\n", *addr)
-	return http.ListenAndServe(*addr, handler)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down: draining jobs, flushing journal")
+	// Mark the drain before cancelling job contexts so in-flight jobs are
+	// suspended (and later recovered), not recorded as cancelled.
+	d.Service.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	d.Close()
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			return fmt.Errorf("journal close: %w", err)
+		}
+	}
+	return nil
 }
 
 // runSearch builds an index over a metadata output directory on disk

@@ -88,6 +88,9 @@ type JobSummary struct {
 	Repositories  []string  `json:"repositories,omitempty"`
 	GroupsCrawled int64     `json:"groups_crawled"`
 	GroupsDone    int64     `json:"groups_done"`
+	// Recovered marks jobs restored from the durable journal after a
+	// service restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // JobListResponse answers GET /api/v1/jobs. Total counts every job that
@@ -122,6 +125,14 @@ type SitesResponse struct {
 type CacheStatsResponse struct {
 	Enabled bool        `json:"enabled"`
 	Stats   cache.Stats `json:"stats"`
+}
+
+// RecoveryResponse answers GET /api/v1/recovery: whether a durable
+// journal is configured and, if a recovery pass ran at startup, what it
+// restored.
+type RecoveryResponse struct {
+	Enabled bool                `json:"enabled"`
+	Status  core.RecoveryStatus `json:"status"`
 }
 
 // ExtractorsResponse lists registered extractors.
@@ -335,6 +346,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /api/v1/sites", auth.ScopeExtract, s.handleSites)
 	route("GET /api/v1/extractors", auth.ScopeExtract, s.handleExtractors)
 	route("GET /api/v1/cache", auth.ScopeExtract, s.handleCacheStats)
+	route("GET /api/v1/recovery", auth.ScopeExtract, s.handleRecovery)
 	route("GET /api/v1/search", auth.ScopeExtract, s.handleSearch)
 	route("POST /api/v1/index/refresh", auth.ScopeExtract, s.handleRefresh)
 	route("GET /metrics", "", s.handleMetrics) // scrape endpoint: no auth
@@ -445,6 +457,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			SiteName:       repo.Site,
 			Roots:          repo.Roots,
 			Grouper:        grouper,
+			GrouperName:    repo.Grouper,
 			CrawlWorkers:   repo.CrawlWorkers,
 			MaxFamilySize:  repo.MaxFamilySize,
 			NoMinTransfers: repo.NoMinTransfer,
@@ -551,6 +564,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 			Repositories:  rec.Repositories,
 			GroupsCrawled: rec.GroupsCrawled,
 			GroupsDone:    rec.GroupsDone,
+			Recovered:     rec.Recovered,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -599,4 +613,25 @@ func (s *Server) handleExtractors(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	stats, ok := s.svc.CacheStats()
 	writeJSON(w, http.StatusOK, CacheStatsResponse{Enabled: ok, Stats: stats})
+}
+
+func (s *Server) handleRecovery(w http.ResponseWriter, _ *http.Request) {
+	status, _ := s.svc.LastRecovery()
+	writeJSON(w, http.StatusOK, RecoveryResponse{Enabled: s.svc.JournalEnabled(), Status: status})
+}
+
+// TrackJob registers a running job's cancel function so DELETE
+// /api/v1/jobs/{id} reaches it, untracking when ctx ends — the recovery
+// path uses it for jobs resumed from the journal (pass it as
+// core.RecoveryOptions.OnResume).
+func (s *Server) TrackJob(jobID string, ctx context.Context, cancel context.CancelFunc) {
+	s.mu.Lock()
+	s.running[jobID] = cancel
+	s.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		s.mu.Lock()
+		delete(s.running, jobID)
+		s.mu.Unlock()
+	}()
 }

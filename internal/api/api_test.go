@@ -27,6 +27,7 @@ import (
 type testDeps struct {
 	Server *api.Server
 	Store  *store.MemFS
+	Svc    *core.Service
 }
 
 // newTestServer stands up a full service with one compute site behind the
@@ -111,7 +112,7 @@ func newTestServerDepsCfg(t *testing.T, withAuth bool, wrapStore func(store.Stor
 		token = issuer.Issue("tester", []string{auth.ScopeExtract}, time.Hour)
 	}
 	client := sdk.New(ts.URL, token)
-	deps := &testDeps{Server: srv, Store: fs}
+	deps := &testDeps{Server: srv, Store: fs, Svc: svc}
 	return client, issuer, deps, func() { ts.Close(); cancel() }
 }
 

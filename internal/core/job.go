@@ -14,6 +14,7 @@ import (
 	"xtract/internal/crawler"
 	"xtract/internal/faas"
 	"xtract/internal/family"
+	"xtract/internal/journal"
 	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/registry"
@@ -30,6 +31,10 @@ type RepoSpec struct {
 	Roots []string
 	// Grouper is the file grouping function.
 	Grouper crawler.GroupingFunc
+	// GrouperName is the symbolic name Grouper was resolved from, when
+	// known. It is what the journal persists — functions cannot survive a
+	// restart — and what recovery resolves back to a GroupingFunc.
+	GrouperName string
 	// CrawlWorkers sizes the crawler's thread pool (default 16).
 	CrawlWorkers int
 	// UseMinTransfers toggles min-transfer family packaging (default on
@@ -202,14 +207,38 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 	return s.RunJobNotifyOpts(ctx, repos, JobOptions{}, idCh)
 }
 
+// journalSpec converts a job's repo list and options to the journal's
+// serializable form (the GroupingFunc travels as its symbolic name).
+func journalSpec(repos []RepoSpec, opts JobOptions) *journal.JobSpec {
+	js := &journal.JobSpec{NoCache: opts.NoCache}
+	for _, r := range repos {
+		js.Repos = append(js.Repos, journal.RepoSpec{
+			Site:           r.SiteName,
+			Roots:          append([]string(nil), r.Roots...),
+			Grouper:        r.GrouperName,
+			CrawlWorkers:   r.CrawlWorkers,
+			MaxFamilySize:  r.MaxFamilySize,
+			NoMinTransfers: r.NoMinTransfers,
+		})
+	}
+	return js
+}
+
 // RunJobNotifyOpts is the full-surface job entry point: overrides plus
-// job-ID notification.
+// job-ID notification. The job is journaled durably (when a journal is
+// configured) before any work starts, so a crash at any later point can
+// recover it.
 func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts JobOptions, idCh chan<- string) (JobStats, error) {
 	names := make([]string, 0, len(repos))
 	for _, r := range repos {
 		names = append(names, r.SiteName)
 	}
 	jobID := s.cfg.Registry.CreateJob(names, s.clk.Now())
+	s.journalAppend(journal.Record{
+		Type:  journal.RecJobSubmitted,
+		JobID: jobID,
+		Spec:  journalSpec(repos, opts),
+	})
 	if idCh != nil {
 		// Never let a slow (or absent) reader stall the job: the REST
 		// front end hands in an unbuffered channel, and a caller that
@@ -228,6 +257,13 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 		}
 	}
 	s.obs.Emitf(jobID, obs.EvJobSubmitted, "repositories=%s", strings.Join(names, ","))
+	return s.runJob(ctx, jobID, repos, opts)
+}
+
+// runJob crawls and pumps one job to a terminal state under an existing
+// job record. It is the shared back half of submission and journal
+// recovery — recovery re-enters here with the restored job ID.
+func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, opts JobOptions) (JobStats, error) {
 	s.obsJobsActive.Inc()
 	defer s.obsJobsActive.Dec()
 
@@ -408,6 +444,10 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 		j.GroupsDone = p.stepsProcessed
 		j.Err = errMsg
 	})
+	s.journalAppend(journal.Record{
+		Type: journal.RecJobTerminal, JobID: jobID,
+		State: string(state), Err: errMsg,
+	})
 	s.obsJobs.With(string(state)).Inc()
 	s.obs.Emitf(jobID, event, "families_failed=%d steps_dead_lettered=%d cache_hits=%d elapsed=%s",
 		p.failedFam, p.deadLettered, p.cacheHits, elapsed)
@@ -432,10 +472,16 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 
 // failJob marks a job record terminal after an error: CANCELLED when the
 // context was cancelled (the DELETE /jobs/{id} path), FAILED otherwise.
+// During a graceful shutdown the cancellation is the restart itself, so
+// nothing terminal is recorded — the journal keeps the job live and
+// recovery resumes it.
 func (s *Service) failJob(jobID string, err error) {
 	state := registry.JobFailed
 	event := obs.EvJobFailed
 	if errors.Is(err, context.Canceled) {
+		if s.draining.Load() {
+			return
+		}
 		state = registry.JobCancelled
 		event = obs.EvJobCancelled
 	}
@@ -443,6 +489,13 @@ func (s *Service) failJob(jobID string, err error) {
 		j.State = state
 		j.Err = err.Error()
 	})
+	if state == registry.JobCancelled {
+		// Durable cancellation: a restarted service must not resurrect a
+		// job the user cancelled.
+		s.journalAppend(journal.Record{Type: journal.RecJobCancelled, JobID: jobID, Err: err.Error()})
+	} else {
+		s.journalAppend(journal.Record{Type: journal.RecJobTerminal, JobID: jobID, State: string(state), Err: err.Error()})
+	}
 	s.obsJobs.With(string(state)).Inc()
 	s.obs.Emit(jobID, event, err.Error())
 }
@@ -475,10 +528,49 @@ func (p *pump) intakeFamilies() bool {
 		}
 		p.s.obs.Emitf(p.jobID, obs.EvFamilyEnqueued, "family=%s groups=%d bytes=%d",
 			fam.ID, len(fam.Groups), fam.TotalBytes())
+		p.journal(journal.Record{
+			Type: journal.RecFamilyEnqueued, FamilyID: fam.ID, Groups: len(fam.Groups),
+		})
 		p.placeFamily(fam)
 		_ = p.famQ.Delete(m.Receipt)
 	}
 	return true
+}
+
+// journal appends one record for this job, without blocking the pump on
+// durability: step and family transitions ride the journal's group
+// commit asynchronously. The hard-durability records (submission,
+// cancellation, terminal state) go through Service.journalAppend instead.
+func (p *pump) journal(rec journal.Record) {
+	if p.s.cfg.Journal == nil {
+		return
+	}
+	rec.JobID = p.jobID
+	if err := p.s.cfg.Journal.AppendAsync(rec); err != nil {
+		p.s.obsJournalErrors.Inc()
+	}
+}
+
+// journalStepCompleted records one finished step. The record carries the
+// step's content-addressed cache key (when the step is cacheable) and its
+// metadata, which is what lets recovery seed the result cache so no
+// extractor re-runs for work completed before a crash.
+func (p *pump) journalStepCompleted(famID string, step scheduler.Step,
+	md map[string]interface{}, key cache.Key, cacheable, fromCache bool) {
+	if p.s.cfg.Journal == nil {
+		return
+	}
+	rec := journal.Record{
+		Type: journal.RecStepCompleted, FamilyID: famID,
+		GroupID: step.GroupID, Extractor: step.Extractor, Cached: fromCache,
+	}
+	if cacheable {
+		rec.CacheKey = &journal.CacheKey{ContentHash: key.ContentHash, Version: key.Version}
+	}
+	if blob, err := json.Marshal(md); err == nil {
+		rec.Metadata = blob
+	}
+	p.journal(rec)
 }
 
 // placeFamily runs the placement policy and routes the family either
@@ -595,6 +687,7 @@ func (p *pump) failFamily(famID, reason string, attempts int) {
 		})
 	})
 	p.s.obs.Emitf(p.jobID, obs.EvFamilyFailed, "family=%s abandoned: %s", famID, reason)
+	p.journal(journal.Record{Type: journal.RecFamilyFailed, FamilyID: famID, Reason: reason})
 }
 
 // retryOrDeadLetter routes one failed or lost step: if the step still
@@ -628,6 +721,11 @@ func (p *pump) retryOrDeadLetter(st *famState, step scheduler.Step, cause, detai
 		p.s.obs.Emitf(p.jobID, obs.EvTaskRetried,
 			"family=%s group=%s extractor=%s attempt=%d backoff=%s cause=%s",
 			st.fam.ID, step.GroupID, step.Extractor, n, d, reason)
+		p.journal(journal.Record{
+			Type: journal.RecStepRetried, FamilyID: st.fam.ID,
+			GroupID: step.GroupID, Extractor: step.Extractor,
+			Attempt: n, Reason: reason,
+		})
 		return true
 	}
 	if n < p.s.retry.MaxAttempts {
@@ -668,6 +766,11 @@ func (p *pump) deadLetterStep(st *famState, step scheduler.Step, attempts int, c
 	p.s.obs.Emitf(p.jobID, obs.EvTaskDeadLettered,
 		"family=%s group=%s extractor=%s attempts=%d cause=%s",
 		st.fam.ID, step.GroupID, step.Extractor, attempts, cause)
+	p.journal(journal.Record{
+		Type: journal.RecStepDeadLettered, FamilyID: st.fam.ID,
+		GroupID: step.GroupID, Extractor: step.Extractor,
+		Attempt: attempts, Reason: cause,
+	})
 }
 
 // retryStagingOrFail re-sends a family's prefetch task after a staging
@@ -926,7 +1029,7 @@ func (p *pump) bucketReadySteps(st *famState) {
 		if p.attempts[stepKey{st.fam.ID, step}] == 0 {
 			if key, ok := p.stepCacheKey(st, step); ok {
 				if md, hit := p.s.cfg.Cache.Get(key); hit {
-					p.completeFromCache(st, step, md)
+					p.completeFromCache(st, step, md, key)
 					continue
 				}
 				p.cacheMisses++
@@ -971,13 +1074,14 @@ func (p *pump) stepCacheKey(st *famState, step scheduler.Step) (cache.Key, bool)
 // advances (including any schedule suggestions the metadata carries),
 // the validation record gains a Cached provenance entry, and throughput
 // counts the step — but no FaaS task is ever created.
-func (p *pump) completeFromCache(st *famState, step scheduler.Step, md map[string]interface{}) {
+func (p *pump) completeFromCache(st *famState, step scheduler.Step, md map[string]interface{}, key cache.Key) {
 	st.steps = append(st.steps, validate.StepResult{
 		GroupID: step.GroupID, Extractor: step.Extractor,
 		OK: true, Cached: true,
 	})
 	st.plan.Complete(step, md)
 	st.results[step.GroupID+"/"+step.Extractor] = md
+	p.journalStepCompleted(st.fam.ID, step, md, key, true, true)
 	p.stepsProcessed++
 	p.cacheHits++
 	p.s.GroupsProcessed.Inc()
@@ -1045,9 +1149,11 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 				st.results[outc.GroupID+"/"+step.Extractor] = outc.Metadata
 				// Remember the fresh result so a later run over identical
 				// content replays it instead of re-extracting.
-				if key, ok := p.stepCacheKey(st, step); ok {
+				key, cacheable := p.stepCacheKey(st, step)
+				if cacheable {
 					p.s.cfg.Cache.Put(key, outc.Metadata)
 				}
+				p.journalStepCompleted(st.fam.ID, step, outc.Metadata, key, cacheable, false)
 				p.stepsProcessed++
 				p.s.GroupsProcessed.Inc()
 				p.s.obsGroupsProcessed.Inc()

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"xtract/internal/cache"
+	"xtract/internal/crawler"
+	"xtract/internal/journal"
+	"xtract/internal/obs"
+	"xtract/internal/queue"
+	"xtract/internal/registry"
+)
+
+// RecoveryOptions configures the journal recovery pass.
+type RecoveryOptions struct {
+	// Grouper resolves a journaled grouper name back to a grouping
+	// function (functions cannot be persisted). Non-terminal jobs whose
+	// grouper cannot be resolved are marked FAILED rather than dropped.
+	Grouper func(name string) (crawler.GroupingFunc, error)
+	// OnResume, when set, observes each resumed job with its context and a
+	// cancel function scoped to that job — what the DELETE
+	// /api/v1/jobs/{id} path needs to cancel a recovered job (the context
+	// ends when the job does, letting trackers self-clean).
+	OnResume func(jobID string, ctx context.Context, cancel context.CancelFunc)
+	// Queues lists shared queues whose unacknowledged in-flight messages
+	// are made visible again before pumps resume: the consumers that held
+	// the receipts died with the old process.
+	Queues []*queue.Queue
+}
+
+// RecoveredJob is one job's recovery disposition.
+type RecoveredJob struct {
+	JobID string `json:"job_id"`
+	// Disposition is "terminal" (outcome replayed as-is), "cancelled"
+	// (durable cancellation honored), "resumed" (pump restarted), or
+	// "failed" (unrecoverable, e.g. unknown grouper).
+	Disposition string `json:"disposition"`
+	State       string `json:"state,omitempty"`
+	// StepsReconciled counts journaled step completions seeded into the
+	// result cache so the resumed job replays them instead of re-running
+	// extractors.
+	StepsReconciled int    `json:"steps_reconciled,omitempty"`
+	Families        int    `json:"families,omitempty"`
+	Err             string `json:"err,omitempty"`
+}
+
+// RecoveryStatus is the published outcome of the recovery pass, served
+// by GET /api/v1/recovery.
+type RecoveryStatus struct {
+	// Enabled reports whether a journal is configured at all.
+	Enabled bool `json:"enabled"`
+	// Ran reports whether a recovery pass has executed.
+	Ran  bool           `json:"ran"`
+	Jobs []RecoveredJob `json:"jobs,omitempty"`
+	// Aggregates over Jobs, by disposition.
+	Resumed         int `json:"resumed"`
+	Terminal        int `json:"terminal"`
+	Cancelled       int `json:"cancelled"`
+	Failed          int `json:"failed"`
+	StepsReconciled int `json:"steps_reconciled"`
+	// Reclaimed counts queue messages forced back to visible.
+	Reclaimed int `json:"reclaimed"`
+	// Journal scan detail (see journal.ReplayInfo).
+	Records         int64   `json:"records"`
+	Segments        int     `json:"segments"`
+	SnapshotUsed    string  `json:"snapshot_used,omitempty"`
+	TornTail        bool    `json:"torn_tail,omitempty"`
+	CorruptSegments int     `json:"corrupt_segments,omitempty"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+}
+
+// Recover replays the configured journal and restores the world it
+// describes: terminal jobs (including durable cancellations) come back as
+// registry records, and unfinished jobs are re-run under their original
+// IDs — their journaled step completions are first seeded into the
+// result cache so the resumed pump replays them as cache hits instead of
+// re-invoking extractors, which is what makes recovered jobs converge to
+// the same results with no duplicated extraction work.
+//
+// Recover runs at most once per service; later calls return the first
+// pass's status. With no journal configured it is a no-op.
+func (s *Service) Recover(ctx context.Context, opts RecoveryOptions) (RecoveryStatus, error) {
+	s.recoveryMu.Lock()
+	defer s.recoveryMu.Unlock()
+	if s.cfg.Journal == nil {
+		return RecoveryStatus{}, nil
+	}
+	if s.recoveryDone {
+		return s.recovery, nil
+	}
+	start := s.clk.Now()
+	st := s.cfg.Journal.Recovered()
+	info := s.cfg.Journal.Info()
+	status := RecoveryStatus{
+		Enabled:         true,
+		Ran:             true,
+		Records:         info.Records,
+		Segments:        info.Segments,
+		SnapshotUsed:    info.SnapshotUsed,
+		TornTail:        info.TornTail,
+		CorruptSegments: info.CorruptSegments,
+	}
+	for _, q := range opts.Queues {
+		if q != nil {
+			status.Reclaimed += q.ReclaimAll()
+		}
+	}
+	for _, id := range st.JobIDs() {
+		js := st.Jobs[id]
+		rj := s.recoverJob(ctx, js, opts)
+		status.Jobs = append(status.Jobs, rj)
+		status.StepsReconciled += rj.StepsReconciled
+		switch rj.Disposition {
+		case "resumed":
+			status.Resumed++
+		case "terminal":
+			status.Terminal++
+		case "cancelled":
+			status.Cancelled++
+		case "failed":
+			status.Failed++
+		}
+		s.obsRecoveredJobs.With(rj.Disposition).Inc()
+	}
+	s.obsRecoverySteps.Add(float64(status.StepsReconciled))
+	elapsed := s.clk.Since(start)
+	status.ElapsedSeconds = elapsed.Seconds()
+	s.obsRecoverySeconds.ObserveDuration(elapsed)
+	s.recovery = status
+	s.recoveryDone = true
+	return status, nil
+}
+
+// LastRecovery returns the status of the completed recovery pass; ok is
+// false when none has run.
+func (s *Service) LastRecovery() (RecoveryStatus, bool) {
+	s.recoveryMu.Lock()
+	defer s.recoveryMu.Unlock()
+	return s.recovery, s.recoveryDone
+}
+
+// RecoveryWait blocks until every job resumed by Recover reaches a
+// terminal state (test hook; servers just let the pumps run).
+func (s *Service) RecoveryWait() { s.recoveryWG.Wait() }
+
+// recoverJob restores one journaled job.
+func (s *Service) recoverJob(ctx context.Context, js *journal.JobState, opts RecoveryOptions) RecoveredJob {
+	submitted, _ := time.Parse(time.RFC3339Nano, js.Submitted)
+	var sites []string
+	if js.Spec != nil {
+		for _, r := range js.Spec.Repos {
+			sites = append(sites, r.Site)
+		}
+	}
+	rec := registry.JobRecord{
+		ID:           js.ID,
+		Repositories: sites,
+		Submitted:    submitted,
+		Err:          js.Err,
+		Recovered:    true,
+	}
+
+	if js.Terminal {
+		rec.State = registry.JobState(js.State)
+		s.cfg.Registry.RestoreJob(rec)
+		disposition := "terminal"
+		if js.Cancelled {
+			disposition = "cancelled"
+		}
+		s.obs.Emitf(js.ID, obs.EvJobRecovered, "disposition=%s state=%s", disposition, js.State)
+		return RecoveredJob{JobID: js.ID, Disposition: disposition, State: js.State, Err: js.Err}
+	}
+
+	fail := func(msg string) RecoveredJob {
+		rec.State = registry.JobFailed
+		rec.Err = msg
+		s.cfg.Registry.RestoreJob(rec)
+		s.journalAppend(journal.Record{
+			Type: journal.RecJobTerminal, JobID: js.ID,
+			State: string(registry.JobFailed), Err: msg,
+		})
+		s.obsJobs.With(string(registry.JobFailed)).Inc()
+		s.obs.Emitf(js.ID, obs.EvJobRecovered, "disposition=failed err=%s", msg)
+		return RecoveredJob{JobID: js.ID, Disposition: "failed", State: string(registry.JobFailed), Err: msg}
+	}
+	if js.Spec == nil {
+		return fail("recovery: job has no journaled spec")
+	}
+
+	// Rebuild the executable repo specs; the journal carries grouper
+	// names, not functions.
+	var repos []RepoSpec
+	for _, r := range js.Spec.Repos {
+		if opts.Grouper == nil {
+			return fail("recovery: no grouper resolver configured")
+		}
+		g, err := opts.Grouper(r.Grouper)
+		if err != nil {
+			return fail("recovery: " + err.Error())
+		}
+		repos = append(repos, RepoSpec{
+			SiteName:       r.Site,
+			Roots:          r.Roots,
+			Grouper:        g,
+			GrouperName:    r.Grouper,
+			CrawlWorkers:   r.CrawlWorkers,
+			MaxFamilySize:  r.MaxFamilySize,
+			NoMinTransfers: r.NoMinTransfers,
+		})
+	}
+
+	// Reconcile journaled step completions with the result cache: family
+	// packaging is not deterministic across runs, but the cache key is
+	// content-addressed — seeding it makes the resumed pump replay every
+	// pre-crash completion as a cache hit, whatever family it lands in.
+	reconciled := 0
+	if s.cfg.Cache != nil && !js.Spec.NoCache {
+		for _, sd := range js.Steps {
+			if sd.CacheKey == nil || len(sd.Metadata) == 0 {
+				continue
+			}
+			var md map[string]interface{}
+			if err := json.Unmarshal(sd.Metadata, &md); err != nil {
+				continue
+			}
+			s.cfg.Cache.Put(cache.Key{
+				ContentHash: sd.CacheKey.ContentHash,
+				Extractor:   sd.Extractor,
+				Version:     sd.CacheKey.Version,
+			}, md)
+			reconciled++
+		}
+	}
+
+	rec.State = registry.JobExtracting
+	s.cfg.Registry.RestoreJob(rec)
+	jctx, cancel := context.WithCancel(ctx)
+	if opts.OnResume != nil {
+		opts.OnResume(js.ID, jctx, cancel)
+	}
+	s.obs.Emitf(js.ID, obs.EvJobRecovered,
+		"disposition=resumed families=%d steps_reconciled=%d", len(js.Families), reconciled)
+	jobOpts := JobOptions{NoCache: js.Spec.NoCache}
+	s.recoveryWG.Add(1)
+	go func() {
+		defer s.recoveryWG.Done()
+		defer cancel()
+		_, _ = s.runJob(jctx, js.ID, repos, jobOpts)
+	}()
+	return RecoveredJob{
+		JobID: js.ID, Disposition: "resumed", State: string(registry.JobExtracting),
+		StepsReconciled: reconciled, Families: len(js.Families),
+	}
+}

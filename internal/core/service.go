@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xtract/internal/cache"
 	"xtract/internal/clock"
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
+	"xtract/internal/journal"
 	"xtract/internal/metrics"
 	"xtract/internal/obs"
 	"xtract/internal/queue"
@@ -156,6 +158,10 @@ type Config struct {
 	// also turns on crawl-time content fingerprinting for jobs (see
 	// crawler.Crawler.Fingerprint); per-job JobOptions.NoCache opts out.
 	Cache *cache.Cache
+	// Journal, when set, is the durable write-ahead log the service
+	// appends at every job state transition; Recover replays it after a
+	// restart. Nil disables durability (pure in-memory operation).
+	Journal *journal.Journal
 }
 
 // Service is the Xtract orchestrator.
@@ -219,6 +225,23 @@ type Service struct {
 	obsPumpWakeups      *obs.CounterVec
 	obsDispatchLatency  *obs.Histogram
 	obsPipelineDepth    *obs.Gauge
+	obsJournalAppends   *obs.CounterVec
+	obsJournalErrors    *obs.Counter
+	obsJournalFsync     *obs.Histogram
+	obsRecoveredJobs    *obs.CounterVec
+	obsRecoverySteps    *obs.Counter
+	obsRecoverySeconds  *obs.Histogram
+
+	// draining is set by BeginShutdown: job contexts are about to be
+	// cancelled for a restart, so the cancellations must not be journaled
+	// as user cancels (the jobs should resume on recovery).
+	draining atomic.Bool
+
+	// recovery guards the one-shot Recover pass and its published status.
+	recoveryMu   sync.Mutex
+	recoveryDone bool
+	recovery     RecoveryStatus
+	recoveryWG   sync.WaitGroup
 }
 
 // New constructs the service. Call AddSite and RegisterExtractors before
@@ -296,11 +319,55 @@ func New(cfg Config) *Service {
 		"Time from a step becoming dispatch-ready to its FaaS batch submission.", nil)
 	s.obsPipelineDepth = reg.Gauge("xtract_pipeline_depth",
 		"FaaS tasks in flight across all dispatcher shards.")
+	s.obsJournalAppends = reg.CounterVec("xtract_journal_appends_total",
+		"Durable journal appends by record type.", "type")
+	s.obsJournalErrors = reg.Counter("xtract_journal_append_errors_total",
+		"Journal appends that failed (the transition proceeded un-journaled).")
+	s.obsJournalFsync = reg.Histogram("xtract_journal_fsync_seconds",
+		"Journal group-commit fsync batch durations.", nil)
+	s.obsRecoveredJobs = reg.CounterVec("xtract_recovery_jobs_total",
+		"Jobs restored from the journal at startup, by disposition.", "disposition")
+	s.obsRecoverySteps = reg.Counter("xtract_recovery_steps_reconciled_total",
+		"Journaled step completions seeded into the result cache at recovery.")
+	s.obsRecoverySeconds = reg.Histogram("xtract_recovery_seconds",
+		"Wall time of the journal recovery pass (replay through resume).", nil)
 	if cfg.Cache != nil {
 		cfg.Cache.SetEvictionHook(func() { s.obsCacheEvictions.Inc() })
 	}
+	if cfg.Journal != nil {
+		cfg.Journal.Observe(
+			func(recType string) { s.obsJournalAppends.With(recType).Inc() },
+			func(d time.Duration) { s.obsJournalFsync.ObserveDuration(d) },
+		)
+	}
 	return s
 }
+
+// journalAppend writes one record to the configured journal. Nil-safe: a
+// service without a journal skips it at near-zero cost. Append errors are
+// counted, not fatal — the in-memory transition already happened, and a
+// full disk must degrade durability, not correctness.
+func (s *Service) journalAppend(rec journal.Record) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(rec); err != nil {
+		s.obsJournalErrors.Inc()
+	}
+}
+
+// BeginShutdown marks the service as draining for a graceful stop: job
+// contexts cancelled from here on are treated as a restart in progress —
+// their jobs are NOT journaled as cancelled or failed, so recovery
+// resumes them — and new journal appends for terminal states are
+// suppressed. Call it before cancelling the deployment context.
+func (s *Service) BeginShutdown() { s.draining.Store(true) }
+
+// Draining reports whether BeginShutdown was called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// JournalEnabled reports whether a durable journal is configured.
+func (s *Service) JournalEnabled() bool { return s.cfg.Journal != nil }
 
 // CacheStats snapshots the extraction result cache; ok is false when no
 // cache is configured.

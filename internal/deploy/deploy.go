@@ -13,6 +13,7 @@ import (
 	"xtract/internal/core"
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
+	"xtract/internal/journal"
 	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/registry"
@@ -71,6 +72,10 @@ type Options struct {
 	// cache entries under this prefix on the destination store so warm
 	// state survives restarts.
 	CachePersistPrefix string
+	// Journal, when set, is the durable job journal the core service
+	// writes every job state transition to; pass an opened journal (its
+	// replayed state feeds Service.Recover at startup).
+	Journal *journal.Journal
 }
 
 // Deployment is a running Xtract instance.
@@ -159,6 +164,7 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		Checkpoint:      opts.Checkpoint,
 		Obs:             d.Obs,
 		Cache:           resultCache,
+		Journal:         opts.Journal,
 	})
 
 	for _, spec := range sites {

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"xtract/internal/journal"
+)
+
+// JournalReplayPoint is one point of the recovery-time curve: how long
+// Replay takes to fold a synthetic log of a given length back into a
+// State. Compacted points run the same log under the default
+// snapshot+compaction policy, showing the bound compaction puts on
+// recovery regardless of job history length.
+type JournalReplayPoint struct {
+	// RecordsWritten is the synthetic log length (appends issued).
+	RecordsWritten int64 `json:"records_written"`
+	// Compacted marks runs with auto-compaction enabled.
+	Compacted bool `json:"compacted,omitempty"`
+	// RecordsApplied is what the scan actually folded (post-snapshot tail
+	// only when compacted).
+	RecordsApplied int64 `json:"records_applied"`
+	Segments       int   `json:"segments"`
+	// SnapshotUsed names the snapshot the scan started from ("" = none).
+	SnapshotUsed  string        `json:"snapshot_used,omitempty"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	RecordsPerSec float64       `json:"records_per_sec"`
+}
+
+// JournalRun reports the durability tax: the pump workload timed with the
+// journal off and on (best of Iterations each), plus the group-commit
+// batching ratio and the recovery-time curve. OverheadPct is the
+// regression-tracked number — the crash-recovery acceptance bar is ≤5%
+// throughput loss versus the journal-off baseline.
+type JournalRun struct {
+	Pipeline string `json:"pipeline"`
+	Families int    `json:"families"`
+	Sites    int    `json:"sites"`
+	Steps    int64  `json:"steps"`
+	// Iterations is how many times each configuration ran (min elapsed
+	// kept, to damp scheduler noise).
+	Iterations int `json:"iterations"`
+
+	BaseElapsed     time.Duration `json:"base_elapsed_ns"`
+	BaseTasksPerSec float64       `json:"base_tasks_per_sec"`
+
+	JournalElapsed     time.Duration `json:"journal_elapsed_ns"`
+	JournalTasksPerSec float64       `json:"journal_tasks_per_sec"`
+	OverheadPct        float64       `json:"overhead_pct"`
+
+	// Appends and Fsyncs come from the best journaled run; their ratio is
+	// the group-commit amortization (records made durable per fsync).
+	Appends         int64   `json:"journal_appends"`
+	Fsyncs          int64   `json:"journal_fsyncs"`
+	AppendsPerFsync float64 `json:"appends_per_fsync"`
+
+	Replay []JournalReplayPoint `json:"replay_curve"`
+}
+
+// JournalOverhead measures what durability costs the pump. It runs the
+// PumpOverhead workload iterations times without a journal and iterations
+// times with a journal on a real on-disk directory (fsync and all),
+// keeps the best run of each, and compares throughput. replaySizes then
+// drives the recovery-time curve: for each size a synthetic single-job
+// log of that many records is written and timed through Replay, once
+// with compaction disabled (worst case: the whole log is scanned) and
+// once at the largest size under the default compaction policy.
+func JournalOverhead(familiesPerSite, nSites, iterations int, seed int64, replaySizes []int) (JournalRun, error) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	run := JournalRun{Iterations: iterations}
+
+	// Base and journaled runs interleave so slow-machine drift (thermal,
+	// co-tenants) hits both configurations evenly; min-of-N then damps the
+	// remaining scheduler noise.
+	for i := 0; i < iterations; i++ {
+		res, err := runPump(familiesPerSite, nSites, seed, nil)
+		if err != nil {
+			return run, err
+		}
+		if i == 0 || res.Elapsed < run.BaseElapsed {
+			run.Pipeline, run.Families, run.Sites, run.Steps = res.Pipeline, res.Families, res.Sites, res.Steps
+			run.BaseElapsed, run.BaseTasksPerSec = res.Elapsed, res.TasksPerSec
+		}
+		jres, appends, fsyncs, err := journaledPump(familiesPerSite, nSites, seed)
+		if err != nil {
+			return run, err
+		}
+		if i == 0 || jres.Elapsed < run.JournalElapsed {
+			run.JournalElapsed, run.JournalTasksPerSec = jres.Elapsed, jres.TasksPerSec
+			run.Appends, run.Fsyncs = appends, fsyncs
+		}
+	}
+	if run.BaseElapsed > 0 {
+		run.OverheadPct = 100 * (run.JournalElapsed.Seconds() - run.BaseElapsed.Seconds()) / run.BaseElapsed.Seconds()
+	}
+	if run.Fsyncs > 0 {
+		run.AppendsPerFsync = float64(run.Appends) / float64(run.Fsyncs)
+	}
+
+	for i, size := range replaySizes {
+		pt, err := replayPoint(size, false)
+		if err != nil {
+			return run, err
+		}
+		run.Replay = append(run.Replay, pt)
+		if i == len(replaySizes)-1 {
+			pt, err = replayPoint(size, true)
+			if err != nil {
+				return run, err
+			}
+			run.Replay = append(run.Replay, pt)
+		}
+	}
+	return run, nil
+}
+
+// journaledPump runs one pump workload with a journal on a fresh on-disk
+// directory and reports the run plus the journal's append/fsync counts.
+func journaledPump(familiesPerSite, nSites int, seed int64) (PumpRun, int64, int64, error) {
+	path, err := os.MkdirTemp("", "xtract-journal-bench-")
+	if err != nil {
+		return PumpRun{}, 0, 0, err
+	}
+	defer os.RemoveAll(path)
+	dir, err := journal.OSDir(path)
+	if err != nil {
+		return PumpRun{}, 0, 0, err
+	}
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		return PumpRun{}, 0, 0, err
+	}
+	res, err := runPump(familiesPerSite, nSites, seed, jnl)
+	if err != nil {
+		jnl.Kill()
+		return PumpRun{}, 0, 0, err
+	}
+	if err := jnl.Close(); err != nil {
+		return PumpRun{}, 0, 0, err
+	}
+	appends, fsyncs, _ := jnl.Stats()
+	return res, appends, fsyncs, nil
+}
+
+// replayPoint writes a synthetic single-job log of n records (submission,
+// then alternating family-enqueued and step-completed records for a job
+// that never finishes — the worst case for replay, since terminal jobs
+// are pruned) and times one cold Replay of it.
+func replayPoint(n int, compacted bool) (JournalReplayPoint, error) {
+	path, err := os.MkdirTemp("", "xtract-journal-replay-")
+	if err != nil {
+		return JournalReplayPoint{}, err
+	}
+	defer os.RemoveAll(path)
+	dir, err := journal.OSDir(path)
+	if err != nil {
+		return JournalReplayPoint{}, err
+	}
+	opts := journal.Options{CompactSegments: -1}
+	if compacted {
+		opts.CompactSegments = 0 // default policy
+	}
+	jnl, err := journal.Open(dir, opts)
+	if err != nil {
+		return JournalReplayPoint{}, err
+	}
+	spec := &journal.JobSpec{Repos: []journal.RepoSpec{{
+		Site: "site", Roots: []string{"/p"}, Grouper: "single",
+	}}}
+	if err := jnl.Append(journal.Record{Type: journal.RecJobSubmitted, JobID: "job-1", Spec: spec}); err != nil {
+		return JournalReplayPoint{}, err
+	}
+	meta, _ := json.Marshal(map[string]interface{}{"files": 1, "schema": "synthetic"})
+	written := int64(1)
+	for i := 0; written < int64(n); i++ {
+		fam := fmt.Sprintf("site:/p#%d", i)
+		if err := jnl.AppendAsync(journal.Record{
+			Type: journal.RecFamilyEnqueued, JobID: "job-1", FamilyID: fam, Groups: 1,
+		}); err != nil {
+			return JournalReplayPoint{}, err
+		}
+		written++
+		if written >= int64(n) {
+			break
+		}
+		if err := jnl.AppendAsync(journal.Record{
+			Type: journal.RecStepCompleted, JobID: "job-1",
+			FamilyID: fam, GroupID: fam + "#f0", Extractor: "noop",
+			CacheKey: &journal.CacheKey{ContentHash: fmt.Sprintf("%032x", i), Version: "noop@1"},
+			Metadata: meta,
+		}); err != nil {
+			return JournalReplayPoint{}, err
+		}
+		written++
+	}
+	if err := jnl.Close(); err != nil {
+		return JournalReplayPoint{}, err
+	}
+
+	start := time.Now()
+	_, info, err := journal.Replay(dir)
+	elapsed := time.Since(start)
+	if err != nil {
+		return JournalReplayPoint{}, err
+	}
+	pt := JournalReplayPoint{
+		RecordsWritten: written,
+		Compacted:      compacted,
+		RecordsApplied: info.Records,
+		Segments:       info.Segments,
+		SnapshotUsed:   info.SnapshotUsed,
+		Elapsed:        elapsed,
+	}
+	if elapsed > 0 {
+		pt.RecordsPerSec = float64(written) / elapsed.Seconds()
+	}
+	return pt, nil
+}

@@ -12,6 +12,7 @@ import (
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
 	"xtract/internal/family"
+	"xtract/internal/journal"
 	"xtract/internal/store"
 )
 
@@ -59,6 +60,12 @@ func (noopExtractor) Extract(g *family.Group, files map[string][]byte) (map[stri
 // per-poll costs — the overhead an event-driven pump eliminates — are
 // visible in the result.
 func PumpOverhead(familiesPerSite, nSites int, seed int64) (PumpRun, error) {
+	return runPump(familiesPerSite, nSites, seed, nil)
+}
+
+// runPump is the shared pump workload; jnl, when non-nil, attaches a
+// durable job journal so the same workload measures journaling overhead.
+func runPump(familiesPerSite, nSites int, seed int64, jnl *journal.Journal) (PumpRun, error) {
 	if nSites < 1 {
 		nSites = 1
 	}
@@ -85,6 +92,7 @@ func PumpOverhead(familiesPerSite, nSites int, seed int64) (PumpRun, error) {
 
 	d, err := deploy.New(context.Background(), clk, specs, deploy.Options{
 		Library: lib,
+		Journal: jnl,
 		FaaSCosts: faas.Costs{
 			AuthPerRequest:  500 * time.Microsecond,
 			SubmitPerBatch:  time.Millisecond,
@@ -120,10 +128,10 @@ func PumpOverhead(familiesPerSite, nSites int, seed int64) (PumpRun, error) {
 	}
 
 	run := PumpRun{
-		Pipeline: core.PipelineKind,
-		Families: familiesPerSite * nSites,
-		Sites:    nSites,
-		Steps:    stats.StepsProcessed,
+		Pipeline:    core.PipelineKind,
+		Families:    familiesPerSite * nSites,
+		Sites:       nSites,
+		Steps:       stats.StepsProcessed,
 		Elapsed:     elapsed,
 		Wakeups:     stats.PumpWakeups,
 		IdleWakeups: stats.PumpIdleWakeups,

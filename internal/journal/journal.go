@@ -1,0 +1,910 @@
+// Package journal is the orchestrator's durable write-ahead log: the
+// stand-in for the paper's AWS SQS/RDS durability layer that lets the
+// Xtract service die mid-job and restart without stranding work. Every
+// job state transition — submission (with the full serializable plan),
+// family intake, step completion (fresh or cache-replayed), retry,
+// dead-letter, cancellation, and terminal state — is appended as one
+// CRC-framed JSON record. Appends are group-committed: concurrent
+// writers coalesce into a single write+fsync batch, so durability costs
+// are amortized across the pump's natural bursts. On restart, replay
+// rebuilds an in-memory State from the newest valid snapshot plus the
+// segment tail, tolerating torn tails and corrupt records (scan stops at
+// the first damaged frame), and the core service resumes every
+// non-terminal job from it.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+	"xtract/internal/store"
+)
+
+// Record type tags, one per job state transition.
+const (
+	RecJobSubmitted     = "job_submitted"
+	RecFamilyEnqueued   = "family_enqueued"
+	RecStepCompleted    = "step_completed"
+	RecStepRetried      = "step_retried"
+	RecStepDeadLettered = "step_dead_lettered"
+	RecFamilyFailed     = "family_failed"
+	RecJobCancelled     = "job_cancelled"
+	RecJobTerminal      = "job_terminal"
+)
+
+// RepoSpec is the serializable form of one repository in a job plan: the
+// grouping function is recorded by name so a restarted process can
+// resolve it against its own library.
+type RepoSpec struct {
+	Site           string   `json:"site"`
+	Roots          []string `json:"roots"`
+	Grouper        string   `json:"grouper"`
+	CrawlWorkers   int      `json:"crawl_workers,omitempty"`
+	MaxFamilySize  int      `json:"max_family_size,omitempty"`
+	NoMinTransfers bool     `json:"no_min_transfers,omitempty"`
+}
+
+// JobSpec is the full serializable job plan carried on a job_submitted
+// record — everything recovery needs to re-run the job under its
+// original ID.
+type JobSpec struct {
+	Repos   []RepoSpec `json:"repos"`
+	NoCache bool       `json:"no_cache,omitempty"`
+}
+
+// CacheKey is the content-addressed identity of a completed step's
+// result-cache entry (the extractor name lives on the record itself).
+// Recovery seeds the result cache from these so a resumed job replays
+// completed steps instead of re-invoking extractors — family packaging
+// is randomized run to run, so reconciliation must be content-addressed,
+// not family-ID-addressed.
+type CacheKey struct {
+	ContentHash string `json:"content_hash"`
+	Version     string `json:"version"`
+}
+
+// Record is one journal entry. Seq is assigned by Append and is strictly
+// sequential; replay uses the continuity to detect damage.
+type Record struct {
+	Seq   uint64    `json:"seq"`
+	Type  string    `json:"type"`
+	JobID string    `json:"job_id"`
+	At    time.Time `json:"at"`
+
+	// job_submitted
+	Spec *JobSpec `json:"spec,omitempty"`
+	// family_enqueued / family_failed / step records
+	FamilyID string `json:"family_id,omitempty"`
+	Groups   int    `json:"groups,omitempty"`
+	// step_completed / step_retried / step_dead_lettered
+	GroupID   string          `json:"group_id,omitempty"`
+	Extractor string          `json:"extractor,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	CacheKey  *CacheKey       `json:"cache_key,omitempty"`
+	Metadata  json.RawMessage `json:"metadata,omitempty"`
+	Attempt   int             `json:"attempt,omitempty"`
+	Reason    string          `json:"reason,omitempty"`
+	// job_terminal
+	State string `json:"state,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// Errors returned by the writer.
+var (
+	// ErrClosed is returned by Append after Close.
+	ErrClosed = errors.New("journal: closed")
+	// ErrKilled is returned by Append after Kill — the test hook that
+	// emulates a SIGKILL by dropping the un-fsynced tail.
+	ErrKilled = errors.New("journal: killed")
+)
+
+// castagnoli is the CRC32C table (the polynomial storage systems use for
+// on-disk framing).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame layout: 4-byte little-endian payload length, 4-byte little-endian
+// CRC32C of the payload, then the JSON payload.
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record so replay of a corrupt length
+// prefix cannot allocate absurdly.
+const maxRecordBytes = 16 << 20
+
+// appendJSONString appends s as a JSON string literal. The fast path
+// covers the common case (printable ASCII without quotes or
+// backslashes); anything else delegates to encoding/json for correct
+// escaping and UTF-8 handling.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			blob, _ := json.Marshal(s)
+			return append(b, blob...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// appendRecordJSON appends rec's JSON encoding to b: the hot-path
+// encoder the group-commit leader uses instead of reflection-driven
+// encoding/json (journaling runs on the pump's critical CPU budget). It
+// must stay decode-equivalent to the Record struct tags — a property
+// test pins that. Rare sub-objects (the submission Spec) still go
+// through encoding/json.
+func appendRecordJSON(b []byte, rec *Record) ([]byte, error) {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, rec.Seq, 10)
+	b = append(b, `,"type":`...)
+	b = appendJSONString(b, rec.Type)
+	b = append(b, `,"job_id":`...)
+	b = appendJSONString(b, rec.JobID)
+	b = append(b, `,"at":"`...)
+	b = rec.At.AppendFormat(b, time.RFC3339Nano)
+	b = append(b, '"')
+	if rec.Spec != nil {
+		blob, err := json.Marshal(rec.Spec)
+		if err != nil {
+			return b, err
+		}
+		b = append(b, `,"spec":`...)
+		b = append(b, blob...)
+	}
+	if rec.FamilyID != "" {
+		b = append(b, `,"family_id":`...)
+		b = appendJSONString(b, rec.FamilyID)
+	}
+	if rec.Groups != 0 {
+		b = append(b, `,"groups":`...)
+		b = strconv.AppendInt(b, int64(rec.Groups), 10)
+	}
+	if rec.GroupID != "" {
+		b = append(b, `,"group_id":`...)
+		b = appendJSONString(b, rec.GroupID)
+	}
+	if rec.Extractor != "" {
+		b = append(b, `,"extractor":`...)
+		b = appendJSONString(b, rec.Extractor)
+	}
+	if rec.Cached {
+		b = append(b, `,"cached":true`...)
+	}
+	if rec.CacheKey != nil {
+		b = append(b, `,"cache_key":{"content_hash":`...)
+		b = appendJSONString(b, rec.CacheKey.ContentHash)
+		b = append(b, `,"version":`...)
+		b = appendJSONString(b, rec.CacheKey.Version)
+		b = append(b, '}')
+	}
+	if len(rec.Metadata) != 0 {
+		b = append(b, `,"metadata":`...)
+		b = append(b, rec.Metadata...)
+	}
+	if rec.Attempt != 0 {
+		b = append(b, `,"attempt":`...)
+		b = strconv.AppendInt(b, int64(rec.Attempt), 10)
+	}
+	if rec.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, rec.Reason)
+	}
+	if rec.State != "" {
+		b = append(b, `,"state":`...)
+		b = appendJSONString(b, rec.State)
+	}
+	if rec.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendJSONString(b, rec.Err)
+	}
+	return append(b, '}'), nil
+}
+
+// appendRecordFrame encodes rec in place after a reserved frame header,
+// then back-fills the length and CRC — one framed record, zero
+// intermediate allocations.
+func appendRecordFrame(b []byte, rec *Record) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b, err := appendRecordJSON(b, rec)
+	if err != nil {
+		return b[:start], err
+	}
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, castagnoli))
+	return b, nil
+}
+
+// appendFrame appends one framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame decodes the frame at data[off:], returning the payload and
+// the offset just past it. ok is false at any damage: short header,
+// absurd length, short payload, or CRC mismatch.
+func readFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+frameHeader > len(data) {
+		return nil, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n > maxRecordBytes || off+frameHeader+n > len(data) {
+		return nil, off, false
+	}
+	payload = data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, off, false
+	}
+	return payload, off + frameHeader + n, true
+}
+
+// File is one open segment: sequential writes plus durability.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Dir abstracts the journal's backing directory so the log can live on
+// local disk (OSDir) or on any store.Store (StoreDir). store.Store has
+// no append primitive, so StoreDir files buffer in memory and rewrite
+// the whole object per Sync — acceptable because segments are
+// size-bounded by rotation.
+type Dir interface {
+	List() ([]string, error)
+	Read(name string) ([]byte, error)
+	Create(name string) (File, error)
+	Remove(name string) error
+}
+
+// --- local-disk Dir ---
+
+type osDir struct{ path string }
+
+// OSDir opens (creating if needed) a local directory as journal backing.
+func OSDir(path string) (Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	return osDir{path: path}, nil
+}
+
+func (d osDir) List() ([]string, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (d osDir) Read(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.path, name))
+}
+
+func (d osDir) Create(name string) (File, error) {
+	f, err := os.Create(filepath.Join(d.path, name))
+	if err != nil {
+		return nil, err
+	}
+	// Make the directory entry itself durable (best effort: some file
+	// systems reject directory fsync).
+	if dh, derr := os.Open(d.path); derr == nil {
+		_ = dh.Sync()
+		_ = dh.Close()
+	}
+	return f, nil
+}
+
+func (d osDir) Remove(name string) error {
+	return os.Remove(filepath.Join(d.path, name))
+}
+
+// --- store.Store Dir ---
+
+type storeDir struct {
+	st     store.Store
+	prefix string
+}
+
+// StoreDir mounts a journal directory at prefix on any store.Store.
+func StoreDir(st store.Store, prefix string) Dir {
+	return &storeDir{st: st, prefix: store.Clean(prefix)}
+}
+
+func (d *storeDir) List() ([]string, error) {
+	infos, err := d.st.List(d.prefix)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, fi := range infos {
+		if !fi.IsDir {
+			names = append(names, fi.Name)
+		}
+	}
+	return names, nil
+}
+
+func (d *storeDir) Read(name string) ([]byte, error) {
+	return d.st.Read(d.prefix + "/" + name)
+}
+
+func (d *storeDir) Remove(name string) error {
+	return d.st.Delete(d.prefix + "/" + name)
+}
+
+type storeFile struct {
+	st   store.Store
+	path string
+	buf  []byte
+}
+
+func (d *storeDir) Create(name string) (File, error) {
+	f := &storeFile{st: d.st, path: d.prefix + "/" + name}
+	// Materialize the empty object so List sees the segment immediately.
+	if err := d.st.Write(f.path, nil); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *storeFile) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *storeFile) Sync() error  { return f.st.Write(f.path, f.buf) }
+func (f *storeFile) Close() error { return f.Sync() }
+
+// --- writer ---
+
+// Options tunes a journal.
+type Options struct {
+	// Clock drives timestamps and fsync timing (default real time).
+	Clock clock.Clock
+	// SegmentBytes triggers rotation once a segment exceeds this size
+	// (default 1 MiB).
+	SegmentBytes int64
+	// CompactSegments triggers snapshot+compaction once this many closed
+	// segments accumulate (default 4; <0 disables auto-compaction).
+	CompactSegments int
+	// OnAppend, when set, observes every durable append with the record
+	// type (the xtract_journal_appends_total hook).
+	OnAppend func(recType string)
+	// OnFsync, when set, observes each fsync batch duration.
+	OnFsync func(d time.Duration)
+}
+
+// Journal is an open write-ahead log. Safe for concurrent Append.
+type Journal struct {
+	dir  Dir
+	clk  clock.Clock
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// state mirrors every flushed record (the group-commit leader folds
+	// each durable batch); Compact snapshots it and recovery reads the
+	// copy taken at Open. Only the active leader and Open touch it.
+	state      *State
+	recovered  *State
+	info       ReplayInfo
+	nextSeq    uint64
+	durableSeq uint64
+	// pending holds accepted-but-unflushed records in seq order; the
+	// group-commit leader encodes and frames them with the mutex dropped,
+	// keeping marshal and CRC work off the appenders' critical path.
+	pending []Record
+	// pendingSpare and encBuf are the flush leader's reusable buffers
+	// (accept-path slice backing and encode scratch); only the active
+	// leader (guarded by syncing) swaps them.
+	pendingSpare []Record
+	encBuf       []byte
+	syncing      bool
+	flushPending bool
+	killed       bool
+	closed       bool
+	err          error
+	// killAt arms a deterministic crash after that many accepted records;
+	// killedCh (lazily built by Killed) closes when the journal dies.
+	killAt   int64
+	accepts  int64
+	killedCh chan struct{}
+
+	cur        File
+	curName    string
+	curSize    int64
+	closedSegs []string
+	snapSeq    uint64
+
+	appends  int64
+	fsyncs   int64
+	compacts int64
+}
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("seg-%016d.wal", firstSeq) }
+func snapName(lastSeq uint64) string { return fmt.Sprintf("snap-%016d.snap", lastSeq) }
+func parseSeq(name, pre, suf string) (uint64, bool) {
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, pre), suf), "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open replays any existing log in dir and returns a journal ready for
+// appends. The replayed state (what recovery consumes) is available via
+// Recovered; damage found during the scan is reported in Info.
+func Open(dir Dir, opts Options) (*Journal, error) {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if opts.CompactSegments == 0 {
+		opts.CompactSegments = 4
+	}
+	st, info, err := Replay(dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		dir:        dir,
+		clk:        opts.Clock,
+		opts:       opts,
+		state:      st,
+		recovered:  st.clone(),
+		info:       info,
+		nextSeq:    st.LastSeq + 1,
+		durableSeq: st.LastSeq,
+		snapSeq:    info.snapshotSeq,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	// Pre-existing segments count toward the compaction trigger so a
+	// restarted journal still bounds the next recovery's scan.
+	names, err := dir.List()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, ok := parseSeq(n, "seg-", ".wal"); ok {
+			j.closedSegs = append(j.closedSegs, n)
+		}
+	}
+	return j, nil
+}
+
+// Recovered returns the state replayed at Open — a private copy; later
+// appends do not mutate it.
+func (j *Journal) Recovered() *State { return j.recovered }
+
+// Observe installs (or replaces) the append/fsync hooks after Open — the
+// journal is typically opened before the metrics registry exists.
+func (j *Journal) Observe(onAppend func(recType string), onFsync func(d time.Duration)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.opts.OnAppend = onAppend
+	j.opts.OnFsync = onFsync
+}
+
+// Info reports what the Open-time replay scan found.
+func (j *Journal) Info() ReplayInfo { return j.info }
+
+// Stats reports cumulative appends, fsync batches, and compactions.
+func (j *Journal) Stats() (appends, fsyncs, compacts int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends, j.fsyncs, j.compacts
+}
+
+// Append accepts rec (assigning its Seq) and blocks until the record is
+// durable. Concurrent appenders group-commit: one leader timestamps,
+// encodes, writes, and fsyncs the shared batch, folds it into the live
+// state, and every record the batch carried is acknowledged together.
+// Encoding happens in the leader with the lock dropped; an encode
+// failure (impossible for well-formed records) fails the journal.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.killed {
+		return ErrKilled
+	}
+	if j.err != nil {
+		return j.err
+	}
+	rec.Seq = j.nextSeq
+	j.nextSeq++
+	j.pending = append(j.pending, rec)
+	j.accepts++
+	if j.killAt > 0 && j.accepts >= j.killAt {
+		j.killLocked()
+		return ErrKilled
+	}
+	my := rec.Seq
+	for j.durableSeq < my && j.err == nil && !j.killed {
+		if !j.syncing {
+			j.syncing = true
+			j.flushLocked()
+			j.syncing = false
+			j.cond.Broadcast()
+			continue
+		}
+		j.cond.Wait()
+	}
+	if j.killed && j.durableSeq < my {
+		return ErrKilled
+	}
+	if j.err != nil {
+		return j.err
+	}
+	j.appends++
+	if j.opts.OnAppend != nil {
+		j.opts.OnAppend(rec.Type)
+	}
+	return nil
+}
+
+// AppendAsync accepts and buffers rec without waiting for durability:
+// the record reaches disk with the next group-commit batch (a background
+// flusher is scheduled if no leader is active). A crash can lose buffered
+// async records — callers use it only for transitions recovery can
+// reconstruct or afford to redo (step completions are re-derived from the
+// result cache; retries simply happen again). Submission, cancellation,
+// and terminal records must use Append.
+func (j *Journal) AppendAsync(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.killed {
+		return ErrKilled
+	}
+	if j.err != nil {
+		return j.err
+	}
+	rec.Seq = j.nextSeq
+	j.nextSeq++
+	j.pending = append(j.pending, rec)
+	j.accepts++
+	if j.killAt > 0 && j.accepts >= j.killAt {
+		j.killLocked()
+		return ErrKilled
+	}
+	j.appends++
+	if j.opts.OnAppend != nil {
+		j.opts.OnAppend(rec.Type)
+	}
+	if !j.syncing && !j.flushPending {
+		j.flushPending = true
+		go j.flushAsync()
+	}
+	return nil
+}
+
+// flushAsync is the background group-commit leader for async appends. By
+// the time it runs, a synchronous appender may already have flushed the
+// buffer — then it simply exits.
+func (j *Journal) flushAsync() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.flushPending = false
+	if j.closed || j.killed || j.err != nil || j.syncing || len(j.pending) == 0 {
+		return
+	}
+	j.syncing = true
+	j.flushLocked()
+	j.syncing = false
+	j.cond.Broadcast()
+}
+
+// flushLocked is the group-commit leader loop: while records are
+// buffered, write and fsync them as one batch (dropping the mutex for
+// the IO so followers keep queueing), then rotate/compact as needed.
+// Callers hold j.mu with j.syncing set.
+func (j *Journal) flushLocked() {
+	for len(j.pending) > 0 && j.err == nil && !j.killed {
+		if j.cur == nil {
+			if err := j.openSegmentLocked(); err != nil {
+				j.err = err
+				j.cond.Broadcast()
+				return
+			}
+		}
+		batch := j.pending
+		j.pending = j.pendingSpare[:0]
+		j.pendingSpare = nil
+		cur := j.cur
+		room := j.opts.SegmentBytes - j.curSize
+		frames := j.encBuf[:0]
+		j.encBuf = nil
+		j.mu.Unlock()
+		now := j.clk.Now()
+		// Encode until the current segment is full: a huge batch must not
+		// become one huge segment, or rotation (and with it compaction)
+		// would stall until the writer pauses. The unwritten tail goes back
+		// to the front of the queue for the next segment.
+		cut := len(batch)
+		var werr error
+		for i := range batch {
+			if i > 0 && int64(len(frames)) >= room {
+				cut = i
+				break
+			}
+			if batch[i].At.IsZero() {
+				batch[i].At = now
+			}
+			var merr error
+			frames, merr = appendRecordFrame(frames, &batch[i])
+			if merr != nil {
+				werr = fmt.Errorf("journal: encode %s: %w", batch[i].Type, merr)
+				break
+			}
+		}
+		hi := batch[cut-1].Seq
+		if werr == nil {
+			_, werr = cur.Write(frames)
+		}
+		var fsyncDur time.Duration
+		if werr == nil {
+			t0 := j.clk.Now()
+			werr = cur.Sync()
+			fsyncDur = j.clk.Since(t0)
+		}
+		j.mu.Lock()
+		if werr != nil {
+			j.err = werr
+			j.cond.Broadcast()
+			return
+		}
+		// Fold the durable batch into the live state. Deferring the fold
+		// (and the timestamping above) to the leader keeps the accept path
+		// down to a mutex and a slice append — journaling rides the pump's
+		// critical path, and every microsecond there is amplified by
+		// downstream batching.
+		for i := 0; i < cut; i++ {
+			j.state.Apply(batch[i])
+		}
+		j.durableSeq = hi
+		j.curSize += int64(len(frames))
+		if cap(frames) <= 1<<20 {
+			j.encBuf = frames[:0]
+		}
+		if cut < len(batch) && !j.killed {
+			// Records past the segment boundary rejoin the queue ahead of
+			// anything followers appended while the lock was down; seq order
+			// is preserved because theirs are all lower.
+			requeued := make([]Record, 0, len(batch)-cut+len(j.pending))
+			requeued = append(requeued, batch[cut:]...)
+			j.pending = append(requeued, j.pending...)
+		} else if cut == len(batch) && cap(batch) <= 1<<14 {
+			clear(batch)
+			j.pendingSpare = batch[:0]
+		}
+		j.fsyncs++
+		if j.opts.OnFsync != nil {
+			j.opts.OnFsync(fsyncDur)
+		}
+		j.cond.Broadcast()
+		if j.curSize >= j.opts.SegmentBytes {
+			j.rotateLocked()
+		}
+	}
+}
+
+// openSegmentLocked starts a fresh segment named after the first seq it
+// will hold.
+func (j *Journal) openSegmentLocked() error {
+	name := segName(j.durableSeq + 1)
+	// A stranded pre-existing segment (garbage past the replayed tail)
+	// can share this name; Create truncates it, so it must leave the
+	// closed list — compaction would otherwise delete the live segment.
+	for i, seg := range j.closedSegs {
+		if seg == name {
+			j.closedSegs = append(j.closedSegs[:i], j.closedSegs[i+1:]...)
+			break
+		}
+	}
+	f, err := j.dir.Create(name)
+	if err != nil {
+		return err
+	}
+	j.cur, j.curName, j.curSize = f, name, 0
+	return nil
+}
+
+// rotateLocked closes the current segment and, past the compaction
+// threshold, snapshots the live state and deletes the covered segments.
+func (j *Journal) rotateLocked() {
+	if j.cur != nil {
+		_ = j.cur.Close()
+		j.closedSegs = append(j.closedSegs, j.curName)
+		j.cur, j.curName, j.curSize = nil, "", 0
+	}
+	if j.opts.CompactSegments > 0 && len(j.closedSegs) >= j.opts.CompactSegments {
+		j.compactLocked()
+	}
+}
+
+// compactLocked writes a durable snapshot of the live state, then
+// removes every closed segment it covers. A crash between the snapshot
+// fsync and the removals only leaves garbage segments behind (replay
+// skips their records by seq); a crash during the snapshot write leaves
+// an invalid snapshot that replay ignores in favor of the segments.
+func (j *Journal) compactLocked() {
+	// The snapshot's horizon is the flushed-and-folded prefix: records
+	// still pending for the next batch are not in the state yet, and
+	// their segments stay behind the snapshot until a later compaction.
+	last := j.durableSeq
+	blob, err := json.Marshal(j.state)
+	if err != nil {
+		return
+	}
+	name := snapName(last)
+	f, err := j.dir.Create(name)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(appendFrame(nil, blob)); err != nil {
+		_ = f.Close()
+		return
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return
+	}
+	_ = f.Close()
+	for _, seg := range j.closedSegs {
+		_ = j.dir.Remove(seg)
+	}
+	j.closedSegs = nil
+	// Retire older snapshots; the new one supersedes them.
+	if names, err := j.dir.List(); err == nil {
+		for _, n := range names {
+			if seq, ok := parseSeq(n, "snap-", ".snap"); ok && seq < last {
+				_ = j.dir.Remove(n)
+			}
+		}
+	}
+	j.snapSeq = last
+	j.compacts++
+}
+
+// Compact forces a rotation and snapshot now, regardless of thresholds.
+func (j *Journal) Compact() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Wait out any in-flight group commit: its leader holds a reference
+	// to the current segment file, which must not be closed under it.
+	for j.syncing {
+		j.cond.Wait()
+	}
+	if j.closed || j.killed || j.err != nil {
+		return
+	}
+	// Flush buffered records first so the segment close is clean.
+	j.syncing = true
+	j.flushLocked()
+	j.syncing = false
+	j.cond.Broadcast()
+	if j.err != nil {
+		return
+	}
+	if j.cur != nil {
+		_ = j.cur.Close()
+		j.closedSegs = append(j.closedSegs, j.curName)
+		j.cur, j.curName, j.curSize = nil, "", 0
+	}
+	if len(j.closedSegs) > 0 {
+		j.compactLocked()
+	}
+}
+
+// Kill emulates a SIGKILL for crash tests: the un-fsynced tail is
+// dropped, pending appenders fail with ErrKilled, and no further IO
+// happens. The Dir's already-durable contents are exactly what a real
+// crash would leave behind.
+func (j *Journal) Kill() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.killLocked()
+}
+
+// killLocked is the shared SIGKILL transition: drop the buffered tail,
+// fail pending appenders, and signal Killed watchers. Idempotent.
+func (j *Journal) killLocked() {
+	if j.killed {
+		return
+	}
+	j.killed = true
+	j.pending = nil
+	j.cond.Broadcast()
+	if j.killedCh != nil {
+		close(j.killedCh)
+	}
+}
+
+// KillAtAppend arms a deterministic crash: when the n-th accepted record
+// (counting every Append and AppendAsync since Open) enters the buffer,
+// the journal dies on the spot — same effect as Kill, but exact. Chaos
+// tests need the precision: a Kill driven from an OnAppend hook races the
+// records accepted between the hook firing and the Kill landing, and the
+// hook cannot call Kill itself (it runs under the journal lock).
+func (j *Journal) KillAtAppend(n int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.killAt = n
+}
+
+// Killed returns a channel closed when the journal dies via Kill or an
+// armed KillAtAppend — the cue for a crash test to tear the rest of the
+// "process" down.
+func (j *Journal) Killed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killedCh == nil {
+		j.killedCh = make(chan struct{})
+		if j.killed {
+			close(j.killedCh)
+		}
+	}
+	return j.killedCh
+}
+
+// Close flushes buffered records and closes the current segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	for j.syncing {
+		j.cond.Wait()
+	}
+	if !j.killed && j.err == nil && len(j.pending) > 0 {
+		j.syncing = true
+		j.flushLocked()
+		j.syncing = false
+		j.cond.Broadcast()
+	}
+	if j.cur != nil {
+		_ = j.cur.Close()
+		j.cur = nil
+	}
+	j.closed = true
+	j.cond.Broadcast()
+	return j.err
+}

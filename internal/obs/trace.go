@@ -32,6 +32,9 @@ const (
 	EvJobCompleted     = "job_completed"
 	EvJobFailed        = "job_failed"
 	EvJobCancelled     = "job_cancelled"
+	// EvJobRecovered marks a job restored from the durable journal after a
+	// service restart, before its pump resumes.
+	EvJobRecovered = "job_recovered"
 )
 
 // Event is one entry in a job's trace.

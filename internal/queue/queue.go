@@ -224,6 +224,27 @@ func (q *Queue) Nack(receipt string) error {
 	return nil
 }
 
+// ReclaimAll forces every in-flight message back to the visible queue
+// immediately, regardless of its visibility deadline, and reports how
+// many were returned. This is the restart-redelivery path: after a crash
+// the consumers that held the receipts are gone, so recovery reclaims
+// their unacknowledged work instead of waiting out the timeouts.
+func (q *Queue) ReclaimAll() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.inflight)
+	for receipt, e := range q.inflight {
+		delete(q.inflight, receipt)
+		e.inflight = false
+		e.receipt = ""
+		q.visible = append(q.visible, e)
+	}
+	if n > 0 {
+		q.notifyLocked()
+	}
+	return n
+}
+
 // Len reports the number of currently visible messages.
 func (q *Queue) Len() int {
 	q.mu.Lock()

@@ -92,6 +92,50 @@ func TestNack(t *testing.T) {
 	}
 }
 
+func TestReclaimAll(t *testing.T) {
+	q, _ := newTestQueue()
+	for i := 0; i < 3; i++ {
+		q.Send([]byte(fmt.Sprintf("m%d", i)))
+	}
+	held := q.Receive(2, time.Hour)
+	if len(held) != 2 || q.InFlight() != 2 || q.Len() != 1 {
+		t.Fatalf("setup: held=%d inflight=%d visible=%d", len(held), q.InFlight(), q.Len())
+	}
+	if n := q.ReclaimAll(); n != 2 {
+		t.Fatalf("ReclaimAll = %d, want 2", n)
+	}
+	if q.InFlight() != 0 || q.Len() != 3 {
+		t.Fatalf("after reclaim: inflight=%d visible=%d", q.InFlight(), q.Len())
+	}
+	// The pre-restart receipts died with the old consumer.
+	if err := q.Delete(held[0].Receipt); err != ErrUnknownReceipt {
+		t.Fatalf("stale receipt delete err = %v, want ErrUnknownReceipt", err)
+	}
+	// Reclaimed messages redeliver with a bumped delivery count.
+	again := q.Receive(10, time.Minute)
+	if len(again) != 3 {
+		t.Fatalf("redelivered %d messages, want 3", len(again))
+	}
+	bumped := 0
+	for _, m := range again {
+		if m.Deliveries == 2 {
+			bumped++
+		}
+	}
+	if bumped != 2 {
+		t.Fatalf("%d messages show redelivery, want 2", bumped)
+	}
+	// Idempotent on an all-visible queue.
+	for _, m := range again {
+		if err := q.Nack(m.Receipt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := q.ReclaimAll(); n != 0 {
+		t.Fatalf("second ReclaimAll = %d, want 0", n)
+	}
+}
+
 func TestSendBatch(t *testing.T) {
 	q, _ := newTestQueue()
 	ids := q.SendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")})

@@ -94,6 +94,9 @@ type JobRecord struct {
 	DeadLetters []DeadLetter `json:"dead_letters,omitempty"`
 	// DeadLettersDropped counts quarantines beyond the cap.
 	DeadLettersDropped int64 `json:"dead_letters_dropped,omitempty"`
+	// Recovered marks a job restored from the durable journal after a
+	// service restart (terminal outcome replayed, or pump resumed).
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // AddDeadLetter appends a quarantine record, enforcing MaxDeadLetters.
@@ -192,6 +195,21 @@ func (r *Registry) CreateJob(repositories []string, now time.Time) string {
 		Submitted:    now,
 	}
 	return id
+}
+
+// RestoreJob reinstates a job record under its original ID — the journal
+// recovery path, where IDs must survive a restart so client handles stay
+// valid. The ID counter advances past any numeric suffix so jobs created
+// after recovery never collide with restored ones.
+func (r *Registry) RestoreJob(rec JobRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.Repositories = append([]string(nil), rec.Repositories...)
+	r.jobs[rec.ID] = rec
+	var n int
+	if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > r.seq {
+		r.seq = n
+	}
 }
 
 // Job returns a job record.

@@ -112,6 +112,41 @@ func TestJobErrors(t *testing.T) {
 	}
 }
 
+func TestRestoreJobPreservesIDAndAdvancesSeq(t *testing.T) {
+	r := New(clock.NewReal(), 0)
+	r.RestoreJob(JobRecord{
+		ID:           "job-7",
+		State:        JobExtracting,
+		Repositories: []string{"mdf"},
+		Submitted:    time.Unix(100, 0),
+		Recovered:    true,
+	})
+	rec, err := r.Job("job-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != JobExtracting || !rec.Recovered || rec.Repositories[0] != "mdf" {
+		t.Fatalf("restored rec = %+v", rec)
+	}
+	// New jobs must not collide with the restored ID space.
+	if id := r.CreateJob(nil, time.Now()); id != "job-8" {
+		t.Fatalf("post-restore CreateJob id = %s, want job-8", id)
+	}
+	// Restoring an older ID never rewinds the counter.
+	r.RestoreJob(JobRecord{ID: "job-3", State: JobComplete})
+	if id := r.CreateJob(nil, time.Now()); id != "job-9" {
+		t.Fatalf("CreateJob id = %s, want job-9", id)
+	}
+	// Non-numeric IDs restore fine and leave the counter alone.
+	r.RestoreJob(JobRecord{ID: "imported-abc", State: JobComplete})
+	if _, err := r.Job("imported-abc"); err != nil {
+		t.Fatal(err)
+	}
+	if id := r.CreateJob(nil, time.Now()); id != "job-10" {
+		t.Fatalf("CreateJob id = %s, want job-10", id)
+	}
+}
+
 func TestJobIDsUnique(t *testing.T) {
 	r := New(clock.NewReal(), 0)
 	seen := make(map[string]bool)

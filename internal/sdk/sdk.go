@@ -274,6 +274,16 @@ func (c *XtractClient) CacheStats() (api.CacheStatsResponse, error) {
 	return resp, err
 }
 
+// Recovery fetches the service's journal recovery status: whether a
+// durable journal is configured and what the startup recovery pass
+// restored (jobs resumed, terminal outcomes replayed, cache entries
+// reconciled).
+func (c *XtractClient) Recovery() (api.RecoveryResponse, error) {
+	var resp api.RecoveryResponse
+	err := c.do(http.MethodGet, "/api/v1/recovery", nil, &resp)
+	return resp, err
+}
+
 // Search queries the service's metadata index.
 func (c *XtractClient) Search(query string) ([]api.SearchHit, error) {
 	var resp api.SearchResponse
