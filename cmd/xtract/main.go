@@ -3,7 +3,7 @@
 // It can also serve the REST API for SDK-driven jobs.
 //
 //	xtract extract -root DIR [-out DIR] [-grouper matio] [-workers 8]
-//	xtract serve   -root DIR -addr :8080 [-cache N] [-journal DIR]
+//	xtract serve   -root DIR -addr :8080 [-cache N] [-journal DIR] [-auth-key KEY]
 //	xtract extractors
 package main
 
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"xtract/internal/api"
+	"xtract/internal/auth"
 	"xtract/internal/clock"
 	"xtract/internal/core"
 	"xtract/internal/crawler"
@@ -28,6 +29,7 @@ import (
 	"xtract/internal/journal"
 	"xtract/internal/queue"
 	"xtract/internal/store"
+	"xtract/internal/tenant"
 	"xtract/internal/validate"
 )
 
@@ -62,7 +64,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xtract extract -root DIR [-out DIR] [-grouper single|extension|directory|matio] [-workers N] [-validator passthrough|mdf]
   xtract search  -metadata DIR -q QUERY
-  xtract serve   -root DIR [-addr :8080] [-cache N] [-journal DIR]
+  xtract serve   -root DIR [-addr :8080] [-cache N] [-journal DIR] [-auth-key KEY] [-task-slots N]
   xtract extractors`)
 }
 
@@ -155,6 +157,13 @@ func runServe(args []string) error {
 	cacheCap := fs.Int("cache", 4096, "result cache capacity in entries (0 disables)")
 	journalDir := fs.String("journal", "", "durable job journal directory (enables crash recovery)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+	authKey := fs.String("auth-key", "", "HMAC signing key; enables bearer-token auth on the API")
+	devTokens := fs.Bool("dev-tokens", false, "expose POST /api/v1/token to mint tokens (requires -auth-key; dev only)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant job submissions per second (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant submission burst (default 1 when -tenant-rate is set)")
+	tenantMaxJobs := fs.Int("tenant-max-jobs", 0, "per-tenant concurrent job cap (0 = unlimited)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "per-tenant in-flight task cap (0 = unlimited)")
+	taskSlots := fs.Int("task-slots", 0, "global task slots shared fairly across tenants (0 = unlimited)")
 	_ = fs.Parse(args)
 	if *root == "" {
 		return fmt.Errorf("-root is required")
@@ -182,16 +191,43 @@ func runServe(args []string) error {
 		}
 	}
 
+	// Tenancy: quotas, fair-share task scheduling, and per-tenant
+	// accounting. Always on so the usage endpoint and tenant metrics
+	// work even with no limits configured.
+	tenants := tenant.NewController(tenant.Config{
+		Clock: clk,
+		Defaults: tenant.Limits{
+			SubmitRate:       *tenantRate,
+			SubmitBurst:      *tenantBurst,
+			MaxActiveJobs:    *tenantMaxJobs,
+			MaxInFlightTasks: *tenantInflight,
+		},
+		TaskSlots: *taskSlots,
+	})
+
+	var issuer *auth.Issuer
+	if *authKey != "" {
+		issuer = auth.NewIssuer([]byte(*authKey), clk)
+	}
+	if *devTokens && issuer == nil {
+		return fmt.Errorf("-dev-tokens requires -auth-key")
+	}
+
 	d, err := deploy.New(ctx, clk, []deploy.SiteSpec{
 		{Name: "local", Store: src, Workers: *workers},
-	}, deploy.Options{CacheCapacity: *cacheCap, Journal: jnl})
+	}, deploy.Options{CacheCapacity: *cacheCap, Journal: jnl, Tenants: tenants})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	srv := api.NewServer(d.Service, d.Registry, d.Library, nil)
+	srv := api.NewServer(d.Service, d.Registry, d.Library, issuer)
 	srv.SetObserver(d.Obs)
 	srv.SetBaseContext(d.Ctx)
+	srv.SetTenants(tenants)
+	if *devTokens {
+		srv.EnableDevTokens()
+		fmt.Printf("dev token minting enabled at POST /api/v1/token\n")
+	}
 	srv.EnableSearch(index.New(), d.Dest, "/metadata")
 
 	if jnl != nil {

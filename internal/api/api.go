@@ -2,30 +2,44 @@
 // interaction surface of the paper's microservice architecture, plus the
 // request/response types shared with the client SDK.
 //
-// The v1 surface:
+// The v1 surface (scope column: the auth scope the route requires when
+// an issuer is configured):
 //
-//	POST   /api/v1/jobs            submit an extraction job
-//	GET    /api/v1/jobs            list jobs (state=, limit=, offset=)
-//	GET    /api/v1/jobs/{id}       poll one job
-//	GET    /api/v1/jobs/{id}/events  per-job event trace
-//	DELETE /api/v1/jobs/{id}       cancel a running job
-//	GET    /api/v1/sites           registered sites
-//	GET    /api/v1/extractors      registered extractors
-//	GET    /api/v1/cache           extraction result cache statistics
-//	GET    /api/v1/search          metadata search
-//	POST   /api/v1/index/refresh   re-ingest validated metadata
-//	GET    /metrics                Prometheus text exposition (no auth)
+//	POST   /api/v1/jobs                  extract   submit an extraction job
+//	GET    /api/v1/jobs                  extract   list the caller's jobs (state=, limit=, offset=)
+//	GET    /api/v1/jobs/{id}             extract   poll one job (owner only)
+//	GET    /api/v1/jobs/{id}/events      extract   per-job event trace (owner only)
+//	DELETE /api/v1/jobs/{id}             extract   cancel a running job (owner only)
+//	GET    /api/v1/tenants/{id}/usage    extract   per-tenant cost accounting (own tenant only)
+//	GET    /api/v1/sites                 crawl     registered sites
+//	GET    /api/v1/extractors            crawl     registered extractors
+//	GET    /api/v1/cache                 crawl     extraction result cache statistics
+//	GET    /api/v1/recovery              crawl     journal recovery status
+//	GET    /api/v1/search                validate  metadata search
+//	POST   /api/v1/index/refresh         validate  re-ingest validated metadata
+//	POST   /api/v1/token                 —         dev-mode token mint (EnableDevTokens)
+//	GET    /metrics                      —         Prometheus text exposition (no auth)
+//
+// Job routes are tenant-scoped: the tenant is derived from the bearer
+// token's identity, a caller only sees its own jobs, and cross-tenant
+// access answers 403 with code "tenant_forbidden". Quota refusals answer
+// 429 with code "tenant_quota" and a Retry-After header.
 //
 // Errors use a structured envelope {"error": {"code", "message"}}; the
 // top-level "message" string mirrors error.message for clients of the
 // previous bare-string envelope and will be removed next version.
+// Auth failures are machine-readable: 401 "auth_expired" for an expired
+// token, 403 "auth_scope" for a valid token lacking the route's scope,
+// and 401 "unauthorized" for anything else.
 package api
 
 import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -41,6 +55,7 @@ import (
 	"xtract/internal/obs"
 	"xtract/internal/registry"
 	"xtract/internal/store"
+	"xtract/internal/tenant"
 )
 
 // JobRequest submits an extraction job.
@@ -72,6 +87,7 @@ type JobResponse struct {
 type JobStatus struct {
 	JobID    string             `json:"job_id"`
 	State    string             `json:"state"`
+	Tenant   string             `json:"tenant,omitempty"`
 	Crawled  int64              `json:"groups_crawled"`
 	Done     int64              `json:"groups_done"`
 	Err      string             `json:"err,omitempty"`
@@ -84,6 +100,7 @@ type JobStatus struct {
 type JobSummary struct {
 	JobID         string    `json:"job_id"`
 	State         string    `json:"state"`
+	Tenant        string    `json:"tenant,omitempty"`
 	Submitted     time.Time `json:"submitted"`
 	Repositories  []string  `json:"repositories,omitempty"`
 	GroupsCrawled int64     `json:"groups_crawled"`
@@ -159,6 +176,32 @@ type RefreshResponse struct {
 	Terms    int `json:"terms"`
 }
 
+// TenantUsageResponse answers GET /api/v1/tenants/{id}/usage: the
+// tenant's cumulative cost accounting and effective limits. Enabled is
+// false when the service runs without a tenancy controller, in which
+// case Usage and Limits are zero-valued.
+type TenantUsageResponse struct {
+	Enabled bool          `json:"enabled"`
+	Tenant  string        `json:"tenant"`
+	Usage   tenant.Usage  `json:"usage"`
+	Limits  tenant.Limits `json:"limits"`
+}
+
+// TokenRequest asks the dev-mode mint endpoint for a bearer token.
+type TokenRequest struct {
+	Identity string   `json:"identity"`
+	Scopes   []string `json:"scopes"`
+	// TTLSeconds bounds the token's life (default 3600).
+	TTLSeconds int `json:"ttl_seconds,omitempty"`
+}
+
+// TokenResponse returns a minted bearer token.
+type TokenResponse struct {
+	Token string `json:"token"`
+	// Tenant is the tenant ID the token's identity maps to.
+	Tenant string `json:"tenant"`
+}
+
 // Machine-readable error codes carried in the error envelope.
 const (
 	CodeInvalidRequest = "invalid_request"
@@ -169,6 +212,17 @@ const (
 	CodeJobNotRunning  = "job_not_running"
 	CodeUnknownSite    = "unknown_site"
 	CodeUnknownGrouper = "unknown_grouper"
+	// CodeAuthExpired (401) marks an expired bearer token — SDK clients
+	// with a token source re-mint and retry on it.
+	CodeAuthExpired = "auth_expired"
+	// CodeAuthScope (403) marks a valid token lacking the route's scope.
+	CodeAuthScope = "auth_scope"
+	// CodeTenantQuota (429) marks a submission refused by the tenant's
+	// rate limit or job quota; the Retry-After header carries the wait.
+	CodeTenantQuota = "tenant_quota"
+	// CodeTenantForbidden (403) marks cross-tenant access to a job or
+	// another tenant's usage.
+	CodeTenantForbidden = "tenant_forbidden"
 )
 
 // ErrorInfo is the structured error payload.
@@ -253,6 +307,12 @@ type Server struct {
 	reg    *registry.Registry
 	lib    *extractors.Library
 	issuer *auth.Issuer // nil disables auth
+	// tenants enforces per-tenant quotas and keeps usage accounting;
+	// nil disables tenancy (every caller is the default tenant).
+	tenants *tenant.Controller
+	// devTokens enables the POST /api/v1/token mint endpoint — dev mode
+	// only, it hands out tokens to anyone who can reach the socket.
+	devTokens bool
 
 	obs     *obs.Observer
 	obsHTTP *obs.CounterVec
@@ -273,8 +333,17 @@ type jobResult struct {
 	err   error
 }
 
-// NewServer wires the REST API. issuer may be nil to disable auth.
+// NewServer wires the REST API. issuer may be nil to disable auth —
+// a deliberate dev-mode choice that is loudly logged, since an
+// auth-less server treats every caller as the default tenant with
+// every scope.
 func NewServer(svc *core.Service, reg *registry.Registry, lib *extractors.Library, issuer *auth.Issuer) *Server {
+	if issuer == nil {
+		log.Printf("api: WARNING: no auth issuer configured — " +
+			"authentication is DISABLED and every caller has full access " +
+			"as the default tenant; pass -auth-key to xtract serve (or an " +
+			"issuer to NewServer) to secure this API")
+	}
 	return &Server{
 		svc:       svc,
 		reg:       reg,
@@ -284,6 +353,15 @@ func NewServer(svc *core.Service, reg *registry.Registry, lib *extractors.Librar
 		completed: newCompletedCache(256, time.Hour),
 	}
 }
+
+// SetTenants attaches the tenancy controller: submissions go through
+// admission control and GET /api/v1/tenants/{id}/usage serves its
+// accounting.
+func (s *Server) SetTenants(t *tenant.Controller) { s.tenants = t }
+
+// EnableDevTokens turns on the POST /api/v1/token mint endpoint. Dev
+// mode only: anyone who can reach the socket can mint tokens.
+func (s *Server) EnableDevTokens() { s.devTokens = true }
 
 // SetObserver attaches the observability layer: /metrics serves its
 // registry, /jobs/{id}/events serves its tracer, and every route counts
@@ -338,17 +416,23 @@ func (s *Server) Handler() http.Handler {
 			mux.HandleFunc(pattern, counted)
 		}
 	}
+	// Job lifecycle and usage accounting require the extract scope;
+	// read-only topology/introspection routes the crawl scope; search
+	// rides the validation pipeline's scope. The token mint endpoint
+	// does its own gating (dev mode), and /metrics is the scrape path.
 	route("POST /api/v1/jobs", auth.ScopeExtract, s.handleSubmit)
 	route("GET /api/v1/jobs", auth.ScopeExtract, s.handleJobList)
 	route("GET /api/v1/jobs/{id}", auth.ScopeExtract, s.handleJobStatus)
 	route("GET /api/v1/jobs/{id}/events", auth.ScopeExtract, s.handleJobEvents)
 	route("DELETE /api/v1/jobs/{id}", auth.ScopeExtract, s.handleCancel)
-	route("GET /api/v1/sites", auth.ScopeExtract, s.handleSites)
-	route("GET /api/v1/extractors", auth.ScopeExtract, s.handleExtractors)
-	route("GET /api/v1/cache", auth.ScopeExtract, s.handleCacheStats)
-	route("GET /api/v1/recovery", auth.ScopeExtract, s.handleRecovery)
-	route("GET /api/v1/search", auth.ScopeExtract, s.handleSearch)
-	route("POST /api/v1/index/refresh", auth.ScopeExtract, s.handleRefresh)
+	route("GET /api/v1/tenants/{id}/usage", auth.ScopeExtract, s.handleTenantUsage)
+	route("GET /api/v1/sites", auth.ScopeCrawl, s.handleSites)
+	route("GET /api/v1/extractors", auth.ScopeCrawl, s.handleExtractors)
+	route("GET /api/v1/cache", auth.ScopeCrawl, s.handleCacheStats)
+	route("GET /api/v1/recovery", auth.ScopeCrawl, s.handleRecovery)
+	route("GET /api/v1/search", auth.ScopeValidate, s.handleSearch)
+	route("POST /api/v1/index/refresh", auth.ScopeValidate, s.handleRefresh)
+	route("POST /api/v1/token", "", s.handleMintToken)
 	route("GET /metrics", "", s.handleMetrics) // scrape endpoint: no auth
 	return mux
 }
@@ -389,18 +473,61 @@ func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, RefreshResponse{Ingested: n, Docs: docs, Terms: terms})
 }
 
-// requireScope enforces bearer-token auth when an issuer is configured.
+// claimsKey carries the verified auth.Claims through the request
+// context so handlers can derive the caller's tenant.
+type claimsKeyType struct{}
+
+var claimsKey claimsKeyType
+
+// requireScope enforces bearer-token auth when an issuer is configured,
+// mapping validation failures to machine-readable envelopes: expired
+// tokens answer 401 "auth_expired" (the SDK's re-mint trigger), scope
+// misses answer 403 "auth_scope", anything else 401 "unauthorized".
+// Verified claims ride the request context for tenant derivation.
 func (s *Server) requireScope(scope string, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.issuer != nil {
 			tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
-			if _, err := s.issuer.Require(tok, scope); err != nil {
-				writeError(w, http.StatusUnauthorized, CodeUnauthorized, err)
+			claims, err := s.issuer.Require(tok, scope)
+			if err != nil {
+				switch {
+				case errors.Is(err, auth.ErrExpired):
+					writeError(w, http.StatusUnauthorized, CodeAuthExpired, err)
+				case errors.Is(err, auth.ErrScope):
+					writeError(w, http.StatusForbidden, CodeAuthScope, err)
+				default:
+					writeError(w, http.StatusUnauthorized, CodeUnauthorized, err)
+				}
 				return
 			}
+			r = r.WithContext(context.WithValue(r.Context(), claimsKey, claims))
 		}
 		next(w, r)
 	}
+}
+
+// tenantOf derives the caller's tenant from the request's verified
+// claims; with auth disabled every caller is the default tenant.
+func tenantOf(r *http.Request) string {
+	if claims, ok := r.Context().Value(claimsKey).(auth.Claims); ok {
+		return tenant.FromIdentity(claims.Identity)
+	}
+	return tenant.Default
+}
+
+// ownsJob reports whether the requesting tenant owns the job record.
+// Records predating the tenancy layer have no tenant and belong to the
+// default tenant.
+func ownsJob(r *http.Request, rec registry.JobRecord) bool {
+	return tenantOf(r) == tenant.Normalize(rec.Tenant)
+}
+
+// forbidCrossTenant writes the structured 403 for a job the caller does
+// not own. The body does not confirm the job exists beyond the ID the
+// caller already supplied.
+func forbidCrossTenant(w http.ResponseWriter, jobID string) {
+	writeError(w, http.StatusForbidden, CodeTenantForbidden,
+		fmt.Errorf("api: job %s is not owned by your tenant", jobID))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -464,6 +591,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 
+	// Admission control runs after request validation — a 400 must never
+	// consume the tenant's rate tokens or leak a job-slot reservation.
+	// The reservation taken here is consumed by the pump's JobStarted.
+	ten := tenantOf(r)
+	if err := s.tenants.AdmitJob(ten); err != nil {
+		var qe *tenant.QuotaError
+		if errors.As(err, &qe) {
+			secs := int(qe.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, CodeTenantQuota, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+
 	// The job ID is created inside RunJob; to hand the caller a handle
 	// immediately we learn the ID from the goroutine, then track the run
 	// so DELETE can cancel it. The job's context descends from the server
@@ -471,7 +617,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// an explicit cancel) reaches the pump.
 	ctx, cancel := context.WithCancel(s.baseContext())
 	idCh := make(chan string, 1)
-	opts := core.JobOptions{NoCache: req.NoCache}
+	opts := core.JobOptions{NoCache: req.NoCache, Tenant: ten}
 	go func() {
 		stats, err := s.svc.RunJobNotifyOpts(ctx, specs, opts, idCh)
 		cancel()
@@ -498,9 +644,14 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
+	if !ownsJob(r, rec) {
+		forbidCrossTenant(w, id)
+		return
+	}
 	status := JobStatus{
 		JobID:   id,
 		State:   string(rec.State),
+		Tenant:  tenant.Normalize(rec.Tenant),
 		Crawled: rec.GroupsCrawled,
 		Done:    rec.GroupsDone,
 		Record:  rec,
@@ -548,8 +699,14 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	}
 	stateFilter := strings.ToUpper(q.Get("state"))
 
+	// The listing is tenant-scoped: only the caller's jobs appear, and
+	// Total counts matches within the tenant, not service-wide.
+	ten := tenantOf(r)
 	resp := JobListResponse{Jobs: []JobSummary{}}
 	for _, rec := range s.reg.Jobs() {
+		if tenant.Normalize(rec.Tenant) != ten {
+			continue
+		}
 		if stateFilter != "" && string(rec.State) != stateFilter {
 			continue
 		}
@@ -560,6 +717,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		resp.Jobs = append(resp.Jobs, JobSummary{
 			JobID:         rec.ID,
 			State:         string(rec.State),
+			Tenant:        tenant.Normalize(rec.Tenant),
 			Submitted:     rec.Submitted,
 			Repositories:  rec.Repositories,
 			GroupsCrawled: rec.GroupsCrawled,
@@ -572,8 +730,13 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, err := s.reg.Job(id); err != nil {
+	rec, err := s.reg.Job(id)
+	if err != nil {
 		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	if !ownsJob(r, rec) {
+		forbidCrossTenant(w, id)
 		return
 	}
 	events, dropped := s.obs.Tracer().Events(id)
@@ -585,6 +748,17 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Ownership is checked against the registry record before the cancel
+	// fires — a tenant must not be able to kill another tenant's job.
+	rec, err := s.reg.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	if !ownsJob(r, rec) {
+		forbidCrossTenant(w, id)
+		return
+	}
 	s.mu.Lock()
 	cancel, running := s.running[id]
 	s.mu.Unlock()
@@ -593,13 +767,60 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, CancelResponse{JobID: id, State: "cancelling"})
 		return
 	}
-	rec, err := s.reg.Job(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
-		return
-	}
 	writeError(w, http.StatusConflict, CodeJobNotRunning,
 		fmt.Errorf("api: job %s is %s, not running", id, rec.State))
+}
+
+// handleTenantUsage serves a tenant's cost accounting. A caller may only
+// read its own tenant's usage; asking for another answers the same 403
+// envelope as cross-tenant job access.
+func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request) {
+	id := tenant.Normalize(r.PathValue("id"))
+	if id != tenantOf(r) {
+		writeError(w, http.StatusForbidden, CodeTenantForbidden,
+			fmt.Errorf("api: tenant %s is not your tenant", id))
+		return
+	}
+	resp := TenantUsageResponse{Tenant: id}
+	if s.tenants != nil {
+		resp.Enabled = true
+		resp.Usage, _ = s.tenants.UsageFor(id)
+		resp.Limits = s.tenants.LimitsFor(id)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMintToken is the dev-mode token mint: enabled only via
+// EnableDevTokens and only when an issuer exists. It exists so the
+// secured path is exercisable from the CLI without a real identity
+// provider; production deployments must keep it off.
+func (s *Server) handleMintToken(w http.ResponseWriter, r *http.Request) {
+	if !s.devTokens || s.issuer == nil {
+		writeError(w, http.StatusNotImplemented, CodeNotImplemented,
+			fmt.Errorf("api: token minting not enabled (serve with -dev-tokens and -auth-key)"))
+		return
+	}
+	var req TokenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		return
+	}
+	if req.Identity == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("api: missing identity"))
+		return
+	}
+	scopes := req.Scopes
+	if len(scopes) == 0 {
+		scopes = []string{auth.ScopeCrawl, auth.ScopeExtract, auth.ScopeValidate}
+	}
+	ttl := time.Duration(req.TTLSeconds) * time.Second
+	if ttl <= 0 {
+		ttl = time.Hour
+	}
+	writeJSON(w, http.StatusOK, TokenResponse{
+		Token:  s.issuer.Issue(req.Identity, scopes, ttl),
+		Tenant: tenant.FromIdentity(req.Identity),
+	})
 }
 
 func (s *Server) handleSites(w http.ResponseWriter, _ *http.Request) {

@@ -28,6 +28,7 @@ type testDeps struct {
 	Server *api.Server
 	Store  *store.MemFS
 	Svc    *core.Service
+	Obs    *obs.Observer
 }
 
 // newTestServer stands up a full service with one compute site behind the
@@ -109,10 +110,11 @@ func newTestServerDepsCfg(t *testing.T, withAuth bool, wrapStore func(store.Stor
 	ts := httptest.NewServer(srv.Handler())
 	token := ""
 	if withAuth {
-		token = issuer.Issue("tester", []string{auth.ScopeExtract}, time.Hour)
+		token = issuer.Issue("tester",
+			[]string{auth.ScopeCrawl, auth.ScopeExtract, auth.ScopeValidate}, time.Hour)
 	}
 	client := sdk.New(ts.URL, token)
-	deps := &testDeps{Server: srv, Store: fs, Svc: svc}
+	deps := &testDeps{Server: srv, Store: fs, Svc: svc, Obs: o}
 	return client, issuer, deps, func() { ts.Close(); cancel() }
 }
 
@@ -196,10 +198,16 @@ func TestAuthRequired(t *testing.T) {
 	if _, err := noAuth.Sites(); err == nil {
 		t.Fatal("unauthenticated request accepted")
 	}
-	// Wrong scope is rejected.
-	weak := sdk.New(client.BaseURL, issuer.Issue("u", []string{auth.ScopeCrawl}, time.Hour))
+	// Wrong scope is rejected: sites needs the crawl scope, which an
+	// extract-only token lacks.
+	weak := sdk.New(client.BaseURL, issuer.Issue("u", []string{auth.ScopeExtract}, time.Hour))
 	if _, err := weak.Sites(); err == nil {
 		t.Fatal("wrong-scope request accepted")
+	}
+	// And the extract-only token cannot reach the validate-scoped
+	// search route either.
+	if _, err := weak.Search("x"); err == nil {
+		t.Fatal("wrong-scope search accepted")
 	}
 }
 

@@ -226,7 +226,7 @@ func TestFinishMarshalErrorDeadLetters(t *testing.T) {
 		PrefetchDone:  prefetchDone,
 		ResultQueue:   results,
 	})
-	jobID := svc.cfg.Registry.CreateJob([]string{"x"}, clk.Now())
+	jobID := svc.cfg.Registry.CreateJob("", []string{"x"}, clk.Now())
 	p := &pump{
 		s:        svc,
 		jobID:    jobID,

@@ -125,10 +125,14 @@ func putPayloadBuf(b *bytes.Buffer) { payloadBufPool.Put(b) }
 type dispatcher struct {
 	s     *Service
 	jobID string
-	site  *Site
-	feed  chan dispatchItem
-	sink  *shardEventSink
-	comp  *faas.CompletionSink
+	// tenant owns the job; every step fed to this shard holds one of the
+	// tenant's fair-share task slots, released here when the step reaches
+	// a terminal event (or by the shutdown sweep).
+	tenant string
+	site   *Site
+	feed   chan dispatchItem
+	sink   *shardEventSink
+	comp   *faas.CompletionSink
 
 	buckets map[string][]dispatchItem // extractor -> pending steps
 	reqs    []faas.TaskRequest
@@ -138,10 +142,11 @@ type dispatcher struct {
 	out     map[string][]stepRef
 }
 
-func newDispatcher(s *Service, jobID string, site *Site, sink *shardEventSink) *dispatcher {
+func newDispatcher(s *Service, jobID, tenant string, site *Site, sink *shardEventSink) *dispatcher {
 	return &dispatcher{
 		s:       s,
 		jobID:   jobID,
+		tenant:  tenant,
 		site:    site,
 		feed:    make(chan dispatchItem, feedDepth),
 		sink:    sink,
@@ -162,6 +167,7 @@ func (d *dispatcher) run(ctx context.Context) {
 		}
 		select {
 		case <-ctx.Done():
+			d.releaseAbandoned()
 			return
 		case it := <-d.feed:
 			d.intake(it)
@@ -258,6 +264,7 @@ func (d *dispatcher) makeTask(extractor string) {
 		}
 	}
 	if err != nil {
+		d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(refs))
 		d.sink.push(shardEvent{failed: true, cause: "no_function", detail: err.Error(), refs: refs})
 		return
 	}
@@ -268,6 +275,7 @@ func (d *dispatcher) makeTask(extractor string) {
 		Checkpoint: d.s.cfg.Checkpoint,
 	})
 	if merr != nil {
+		d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(refs))
 		d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: merr.Error(), refs: refs})
 		return
 	}
@@ -293,6 +301,7 @@ func (d *dispatcher) submit() {
 	}
 	if err != nil {
 		for _, r := range refs {
+			d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(r))
 			d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: err.Error(), refs: r})
 		}
 		return
@@ -318,7 +327,36 @@ func (d *dispatcher) terminal(id string, info faas.TaskInfo) {
 	}
 	delete(d.out, id)
 	d.s.obsPipelineDepth.Dec()
+	d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(refs))
 	d.sink.push(shardEvent{taskID: id, info: info, refs: refs})
+}
+
+// releaseAbandoned returns every fair-share task slot this shard still
+// holds when its job context ends: steps buffered in buckets, tasks
+// built but not yet submitted, tasks outstanding on the fabric, and
+// anything left unread in the feed. Without this sweep a cancelled job
+// would permanently shrink the global slot budget.
+func (d *dispatcher) releaseAbandoned() {
+	n := 0
+	for _, items := range d.buckets {
+		n += len(items)
+	}
+	for _, r := range d.refs {
+		n += len(r)
+	}
+	for _, r := range d.out {
+		n += len(r)
+	}
+	for {
+		select {
+		case <-d.feed:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	d.s.cfg.Tenants.ReleaseTasks(d.tenant, n)
 }
 
 // reconcile is the PollBatch safety net behind the notification path:

@@ -19,6 +19,7 @@ import (
 	"xtract/internal/queue"
 	"xtract/internal/registry"
 	"xtract/internal/scheduler"
+	"xtract/internal/tenant"
 	"xtract/internal/transfer"
 	"xtract/internal/validate"
 )
@@ -88,6 +89,9 @@ type JobOptions struct {
 	// crawler skips content fingerprinting and the pump neither consults
 	// nor updates the cache.
 	NoCache bool
+	// Tenant owns the job for quota, fair-share, and cost accounting
+	// ("" = the default tenant).
+	Tenant string
 }
 
 // stepRef ties a dispatched step back to its family.
@@ -142,7 +146,10 @@ type retryItem struct {
 type pump struct {
 	s     *Service
 	jobID string
-	start time.Time
+	// tenant owns the job: dispatch admission and cost accounting are
+	// billed against it.
+	tenant string
+	start  time.Time
 	// famQ is this job's private crawl-output queue; a shared queue would
 	// let concurrent pumps steal each other's families.
 	famQ      *queue.Queue
@@ -210,7 +217,7 @@ func (s *Service) RunJobNotify(ctx context.Context, repos []RepoSpec, idCh chan<
 // journalSpec converts a job's repo list and options to the journal's
 // serializable form (the GroupingFunc travels as its symbolic name).
 func journalSpec(repos []RepoSpec, opts JobOptions) *journal.JobSpec {
-	js := &journal.JobSpec{NoCache: opts.NoCache}
+	js := &journal.JobSpec{NoCache: opts.NoCache, Tenant: tenant.Normalize(opts.Tenant)}
 	for _, r := range repos {
 		js.Repos = append(js.Repos, journal.RepoSpec{
 			Site:           r.SiteName,
@@ -233,7 +240,7 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 	for _, r := range repos {
 		names = append(names, r.SiteName)
 	}
-	jobID := s.cfg.Registry.CreateJob(names, s.clk.Now())
+	jobID := s.cfg.Registry.CreateJob(tenant.Normalize(opts.Tenant), names, s.clk.Now())
 	s.journalAppend(journal.Record{
 		Type:  journal.RecJobSubmitted,
 		JobID: jobID,
@@ -266,6 +273,12 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, opts JobOptions) (JobStats, error) {
 	s.obsJobsActive.Inc()
 	defer s.obsJobsActive.Dec()
+	ten := tenant.Normalize(opts.Tenant)
+	// JobStarted consumes the admission reservation taken at the API
+	// front door (or a fresh slot for direct/recovered callers); the
+	// deferred JobEnded releases it whichever way the job exits.
+	s.cfg.Tenants.JobStarted(ten)
+	defer s.cfg.Tenants.JobEnded(ten)
 
 	// Each job crawls into its own private family queue: with a shared
 	// queue, concurrent jobs would steal each other's families (and hence
@@ -278,7 +291,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		site, ok := s.Site(spec.SiteName)
 		if !ok {
 			err := fmt.Errorf("core: unknown site %q", spec.SiteName)
-			s.failJob(jobID, err)
+			s.failJob(jobID, ten, err)
 			return JobStats{JobID: jobID}, err
 		}
 		c := crawler.New(site.Store, spec.Grouper, famQ)
@@ -313,6 +326,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 	p := &pump{
 		s:        s,
 		jobID:    jobID,
+		tenant:   ten,
 		start:    s.clk.Now(),
 		famQ:     famQ,
 		noCache:  opts.NoCache,
@@ -376,7 +390,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 					pass = true
 					continue
 				case err := <-crawlErr:
-					s.failJob(jobID, err)
+					s.failJob(jobID, ten, err)
 					return JobStats{JobID: jobID}, err
 				default:
 				}
@@ -417,7 +431,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		var err error
 		woke, err = p.await(ctx, crawlDone, crawlErr, &crawlStats, &crawlsPending)
 		if err != nil {
-			s.failJob(jobID, err)
+			s.failJob(jobID, ten, err)
 			return JobStats{JobID: jobID}, err
 		}
 		p.wakeups++
@@ -449,6 +463,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		State: string(state), Err: errMsg,
 	})
 	s.obsJobs.With(string(state)).Inc()
+	s.cfg.Tenants.JobOutcome(ten, string(state))
 	s.obs.Emitf(jobID, event, "families_failed=%d steps_dead_lettered=%d cache_hits=%d elapsed=%s",
 		p.failedFam, p.deadLettered, p.cacheHits, elapsed)
 	return JobStats{
@@ -474,8 +489,8 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 // context was cancelled (the DELETE /jobs/{id} path), FAILED otherwise.
 // During a graceful shutdown the cancellation is the restart itself, so
 // nothing terminal is recorded — the journal keeps the job live and
-// recovery resumes it.
-func (s *Service) failJob(jobID string, err error) {
+// recovery resumes it. ten is the owning tenant for outcome accounting.
+func (s *Service) failJob(jobID, ten string, err error) {
 	state := registry.JobFailed
 	event := obs.EvJobFailed
 	if errors.Is(err, context.Canceled) {
@@ -497,6 +512,7 @@ func (s *Service) failJob(jobID string, err error) {
 		s.journalAppend(journal.Record{Type: journal.RecJobTerminal, JobID: jobID, State: string(state), Err: err.Error()})
 	}
 	s.obsJobs.With(string(state)).Inc()
+	s.cfg.Tenants.JobOutcome(ten, string(state))
 	s.obs.Emit(jobID, event, err.Error())
 }
 
@@ -744,6 +760,7 @@ func (p *pump) deadLetterStep(st *famState, step scheduler.Step, attempts int, c
 	st.deadLettered++
 	p.deadLettered++
 	p.stepsFailed++
+	p.s.cfg.Tenants.StepFailed(p.tenant)
 	p.s.StepsFailed.Inc()
 	p.s.obsStepsFailed.Inc()
 	p.s.StepsDeadLettered.Inc()
@@ -933,7 +950,7 @@ func (p *pump) shardFor(site *Site) *dispatcher {
 	if d, ok := p.shards[site.Name]; ok {
 		return d
 	}
-	d := newDispatcher(p.s, p.jobID, site, p.events)
+	d := newDispatcher(p.s, p.jobID, p.tenant, site, p.events)
 	p.shards[site.Name] = d
 	p.shardWG.Add(1)
 	go func() {
@@ -943,10 +960,24 @@ func (p *pump) shardFor(site *Site) *dispatcher {
 	return d
 }
 
-// dispatch routes one ready step to its site's shard. The send blocks
-// only when the shard is feedDepth steps behind — back-pressure, bounded
-// by the shard's own drain rate — and aborts if the job ends first.
+// dispatch routes one ready step to its site's shard. Fair-share
+// admission happens here: the pump blocks until its tenant is granted a
+// task slot (shards keep releasing slots independently, so a blocked
+// pump starves no one but itself), then the send blocks only when the
+// shard is feedDepth steps behind — back-pressure, bounded by the
+// shard's own drain rate — and aborts if the job ends first. Every slot
+// acquired here is released by the step's shard when its task reaches a
+// terminal event (or by the shard's shutdown sweep).
 func (p *pump) dispatch(st *famState, step scheduler.Step, files map[string]string) {
+	waited, err := p.s.cfg.Tenants.AcquireTask(p.jobCtx, p.tenant)
+	if err != nil {
+		return // job over; the controller reclaimed the slot internally
+	}
+	if waited {
+		p.s.obs.Emitf(p.jobID, obs.EvTenantThrottled,
+			"tenant=%s family=%s group=%s extractor=%s waited for task slot",
+			p.tenant, st.fam.ID, step.GroupID, step.Extractor)
+	}
 	it := dispatchItem{
 		extractor: step.Extractor,
 		readyAt:   p.s.clk.Now(),
@@ -961,6 +992,7 @@ func (p *pump) dispatch(st *famState, step scheduler.Step, files map[string]stri
 	select {
 	case p.shardFor(st.site).feed <- it:
 	case <-p.jobCtx.Done():
+		p.s.cfg.Tenants.ReleaseTasks(p.tenant, 1)
 	}
 }
 
@@ -997,6 +1029,7 @@ func (p *pump) intakeStaged() bool {
 			delete(p.staging, res.FamilyID)
 			st.xferDur = res.Elapsed
 			p.bytesStaged += res.Bytes
+			p.s.cfg.Tenants.AddBytesStaged(p.tenant, res.Bytes)
 			p.s.BytesStaged.Add(res.Bytes)
 			p.s.obsBytesStaged.Add(float64(res.Bytes))
 			p.s.obs.Emitf(p.jobID, obs.EvFamilyStaged, "family=%s bytes=%d elapsed=%s",
@@ -1084,6 +1117,7 @@ func (p *pump) completeFromCache(st *famState, step scheduler.Step, md map[strin
 	p.journalStepCompleted(st.fam.ID, step, md, key, true, true)
 	p.stepsProcessed++
 	p.cacheHits++
+	p.s.cfg.Tenants.StepDone(p.tenant, 0, true)
 	p.s.GroupsProcessed.Inc()
 	p.s.obsGroupsProcessed.Inc()
 	p.s.obsCacheHits.Inc()
@@ -1155,6 +1189,7 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 				}
 				p.journalStepCompleted(st.fam.ID, step, outc.Metadata, key, cacheable, false)
 				p.stepsProcessed++
+				p.s.cfg.Tenants.StepDone(p.tenant, dur, false)
 				p.s.GroupsProcessed.Inc()
 				p.s.obsGroupsProcessed.Inc()
 				p.s.Throughput.Record(p.s.clk.Since(p.start), 1)

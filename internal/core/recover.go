@@ -11,6 +11,7 @@ import (
 	"xtract/internal/obs"
 	"xtract/internal/queue"
 	"xtract/internal/registry"
+	"xtract/internal/tenant"
 )
 
 // RecoveryOptions configures the journal recovery pass.
@@ -154,8 +155,16 @@ func (s *Service) recoverJob(ctx context.Context, js *journal.JobState, opts Rec
 			sites = append(sites, r.Site)
 		}
 	}
+	// Tenant ownership survives the restart: pre-tenancy logs have no
+	// Tenant field and normalize to the default tenant.
+	ten := ""
+	if js.Spec != nil {
+		ten = js.Spec.Tenant
+	}
+	ten = tenant.Normalize(ten)
 	rec := registry.JobRecord{
 		ID:           js.ID,
+		Tenant:       ten,
 		Repositories: sites,
 		Submitted:    submitted,
 		Err:          js.Err,
@@ -182,6 +191,7 @@ func (s *Service) recoverJob(ctx context.Context, js *journal.JobState, opts Rec
 			State: string(registry.JobFailed), Err: msg,
 		})
 		s.obsJobs.With(string(registry.JobFailed)).Inc()
+		s.cfg.Tenants.JobOutcome(ten, string(registry.JobFailed))
 		s.obs.Emitf(js.ID, obs.EvJobRecovered, "disposition=failed err=%s", msg)
 		return RecoveredJob{JobID: js.ID, Disposition: "failed", State: string(registry.JobFailed), Err: msg}
 	}
@@ -242,7 +252,7 @@ func (s *Service) recoverJob(ctx context.Context, js *journal.JobState, opts Rec
 	}
 	s.obs.Emitf(js.ID, obs.EvJobRecovered,
 		"disposition=resumed families=%d steps_reconciled=%d", len(js.Families), reconciled)
-	jobOpts := JobOptions{NoCache: js.Spec.NoCache}
+	jobOpts := JobOptions{NoCache: js.Spec.NoCache, Tenant: ten}
 	s.recoveryWG.Add(1)
 	go func() {
 		defer s.recoveryWG.Done()

@@ -26,6 +26,7 @@ import (
 	"xtract/internal/registry"
 	"xtract/internal/scheduler"
 	"xtract/internal/store"
+	"xtract/internal/tenant"
 	"xtract/internal/transfer"
 )
 
@@ -162,6 +163,10 @@ type Config struct {
 	// appends at every job state transition; Recover replays it after a
 	// restart. Nil disables durability (pure in-memory operation).
 	Journal *journal.Journal
+	// Tenants, when set, enforces per-tenant rate limits, job quotas,
+	// and weighted fair-share task admission, and keeps per-tenant cost
+	// accounting. Nil disables tenancy (single-user operation).
+	Tenants *tenant.Controller
 }
 
 // Service is the Xtract orchestrator.

@@ -19,6 +19,7 @@ import (
 	"xtract/internal/registry"
 	"xtract/internal/scheduler"
 	"xtract/internal/store"
+	"xtract/internal/tenant"
 	"xtract/internal/transfer"
 	"xtract/internal/validate"
 )
@@ -76,6 +77,10 @@ type Options struct {
 	// writes every job state transition to; pass an opened journal (its
 	// replayed state feeds Service.Recover at startup).
 	Journal *journal.Journal
+	// Tenants, when set, is the multi-tenant admission and accounting
+	// controller; it is instrumented on the deployment's metric registry
+	// and wired into the core service.
+	Tenants *tenant.Controller
 }
 
 // Deployment is a running Xtract instance.
@@ -90,6 +95,8 @@ type Deployment struct {
 	Dest       store.Store
 	// Cache is the extraction result cache (nil unless CacheCapacity > 0).
 	Cache *cache.Cache
+	// Tenants is the tenancy controller (nil unless Options.Tenants).
+	Tenants *tenant.Controller
 	// Obs is the deployment-wide observability layer: every substrate
 	// reports into its metric registry and per-job event tracer.
 	Obs    *obs.Observer
@@ -165,7 +172,10 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		Obs:             d.Obs,
 		Cache:           resultCache,
 		Journal:         opts.Journal,
+		Tenants:         opts.Tenants,
 	})
+	d.Tenants = opts.Tenants
+	opts.Tenants.Instrument(d.Obs.Reg())
 
 	for _, spec := range sites {
 		d.Fabric.AddEndpoint(spec.Name, spec.Store)

@@ -61,6 +61,9 @@ type RepoSpec struct {
 type JobSpec struct {
 	Repos   []RepoSpec `json:"repos"`
 	NoCache bool       `json:"no_cache,omitempty"`
+	// Tenant owns the job; absent on logs written before the tenancy
+	// layer, which replay as the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CacheKey is the content-addressed identity of a completed step's

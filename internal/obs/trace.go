@@ -35,6 +35,9 @@ const (
 	// EvJobRecovered marks a job restored from the durable journal after a
 	// service restart, before its pump resumes.
 	EvJobRecovered = "job_recovered"
+	// EvTenantThrottled marks a dispatch that had to wait for a
+	// fair-share task slot (detail names the tenant).
+	EvTenantThrottled = "tenant_throttled"
 )
 
 // Event is one entry in a job's trace.

@@ -82,8 +82,11 @@ type DeadLetter struct {
 
 // JobRecord is the persisted state of one extraction job.
 type JobRecord struct {
-	ID            string    `json:"id"`
-	State         JobState  `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Tenant owns the job; empty on records predating the tenancy layer
+	// (normalized to the default tenant at the API boundary).
+	Tenant        string    `json:"tenant,omitempty"`
 	Repositories  []string  `json:"repositories"`
 	Submitted     time.Time `json:"submitted"`
 	GroupsCrawled int64     `json:"groups_crawled"`
@@ -182,8 +185,9 @@ func (r *Registry) Extractors() []string {
 	return out
 }
 
-// CreateJob persists a new job record and returns its ID.
-func (r *Registry) CreateJob(repositories []string, now time.Time) string {
+// CreateJob persists a new job record owned by tenant and returns its
+// ID.
+func (r *Registry) CreateJob(tenant string, repositories []string, now time.Time) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
@@ -191,6 +195,7 @@ func (r *Registry) CreateJob(repositories []string, now time.Time) string {
 	r.jobs[id] = JobRecord{
 		ID:           id,
 		State:        JobCrawling,
+		Tenant:       tenant,
 		Repositories: append([]string(nil), repositories...),
 		Submitted:    now,
 	}

@@ -82,7 +82,7 @@ func TestExtractorsList(t *testing.T) {
 
 func TestJobLifecycle(t *testing.T) {
 	r := New(clock.NewReal(), 0)
-	id := r.CreateJob([]string{"mdf"}, time.Unix(100, 0))
+	id := r.CreateJob("", []string{"mdf"}, time.Unix(100, 0))
 	rec, err := r.Job(id)
 	if err != nil {
 		t.Fatal(err)
@@ -129,12 +129,12 @@ func TestRestoreJobPreservesIDAndAdvancesSeq(t *testing.T) {
 		t.Fatalf("restored rec = %+v", rec)
 	}
 	// New jobs must not collide with the restored ID space.
-	if id := r.CreateJob(nil, time.Now()); id != "job-8" {
+	if id := r.CreateJob("", nil, time.Now()); id != "job-8" {
 		t.Fatalf("post-restore CreateJob id = %s, want job-8", id)
 	}
 	// Restoring an older ID never rewinds the counter.
 	r.RestoreJob(JobRecord{ID: "job-3", State: JobComplete})
-	if id := r.CreateJob(nil, time.Now()); id != "job-9" {
+	if id := r.CreateJob("", nil, time.Now()); id != "job-9" {
 		t.Fatalf("CreateJob id = %s, want job-9", id)
 	}
 	// Non-numeric IDs restore fine and leave the counter alone.
@@ -142,7 +142,7 @@ func TestRestoreJobPreservesIDAndAdvancesSeq(t *testing.T) {
 	if _, err := r.Job("imported-abc"); err != nil {
 		t.Fatal(err)
 	}
-	if id := r.CreateJob(nil, time.Now()); id != "job-10" {
+	if id := r.CreateJob("", nil, time.Now()); id != "job-10" {
 		t.Fatalf("CreateJob id = %s, want job-10", id)
 	}
 }
@@ -151,7 +151,7 @@ func TestJobIDsUnique(t *testing.T) {
 	r := New(clock.NewReal(), 0)
 	seen := make(map[string]bool)
 	for i := 0; i < 100; i++ {
-		id := r.CreateJob(nil, time.Now())
+		id := r.CreateJob("", nil, time.Now())
 		if seen[id] {
 			t.Fatalf("duplicate job id %s", id)
 		}

@@ -6,10 +6,13 @@ package sdk
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"xtract/internal/api"
@@ -25,6 +28,9 @@ type APIError struct {
 	Status int
 	Code   string
 	Msg    string
+	// RetryAfter is the server's Retry-After hint on quota refusals
+	// (zero when absent).
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -38,12 +44,31 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("sdk: %s %s: %s: %s", e.Method, e.Path, e.Code, e.Msg)
 }
 
+// IsAuthExpired reports whether the error is the expired-token envelope
+// (api.CodeAuthExpired) — the signal to re-mint and retry.
+func (e *APIError) IsAuthExpired() bool { return e != nil && e.Code == api.CodeAuthExpired }
+
+// IsScope reports whether the error is the missing-scope envelope.
+func (e *APIError) IsScope() bool { return e != nil && e.Code == api.CodeAuthScope }
+
+// IsQuota reports whether the error is a tenant quota refusal; the
+// RetryAfter field carries the server's backoff hint.
+func (e *APIError) IsQuota() bool { return e != nil && e.Code == api.CodeTenantQuota }
+
+// IsForbidden reports whether the error is the cross-tenant 403.
+func (e *APIError) IsForbidden() bool { return e != nil && e.Code == api.CodeTenantForbidden }
+
 // parseAPIError decodes an error response body, accepting the structured
 // envelope {"error": {"code", "message"}}, its deprecated "message"
 // mirror, and the legacy bare-string {"error": "..."} form produced by
-// older servers.
-func parseAPIError(method, path string, status int, data []byte) *APIError {
+// older servers. hdr, when non-nil, supplies the Retry-After hint.
+func parseAPIError(method, path string, status int, hdr http.Header, data []byte) *APIError {
 	e := &APIError{Method: method, Path: path, Status: status}
+	if hdr != nil {
+		if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var structured struct {
 		Error   api.ErrorInfo `json:"error"`
 		Message string        `json:"message"`
@@ -67,6 +92,11 @@ func parseAPIError(method, path string, status int, data []byte) *APIError {
 	return e
 }
 
+// TokenSource mints a fresh bearer token — the client calls it once at
+// first use when no static token is set, and again whenever the service
+// answers auth_expired.
+type TokenSource func() (string, error)
+
 // XtractClient talks to an Xtract REST service.
 type XtractClient struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
@@ -74,12 +104,39 @@ type XtractClient struct {
 	// Token is the bearer token attached to every request ("" for
 	// services running without auth).
 	Token string
+	// Source, when set, re-mints Token automatically on auth_expired
+	// responses (see WithTokenSource).
+	Source TokenSource
 	// HTTPClient may be overridden for testing; defaults to a client
 	// with a 30 s timeout.
 	HTTPClient *http.Client
 	// Clock drives WaitJob's polling; nil selects the wall clock.
 	// Injecting a fake clock lets tests step through poll cycles.
 	Clock clock.Clock
+
+	// tokenMu guards Token refreshes against concurrent requests.
+	tokenMu sync.Mutex
+}
+
+// Option configures a client at construction.
+type Option func(*XtractClient)
+
+// WithToken sets a static bearer token (same as New's token argument;
+// provided for symmetry with WithTokenSource).
+func WithToken(token string) Option {
+	return func(c *XtractClient) { c.Token = token }
+}
+
+// WithTokenSource installs a token minter: the client fetches a token
+// from it on first use and re-mints once per request when the service
+// answers auth_expired, retrying the request with the fresh token.
+func WithTokenSource(src TokenSource) Option {
+	return func(c *XtractClient) { c.Source = src }
+}
+
+// WithHTTPClient overrides the transport (testing, custom timeouts).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *XtractClient) { c.HTTPClient = hc }
 }
 
 // clk returns the client's clock, defaulting to the wall clock.
@@ -91,16 +148,75 @@ func (c *XtractClient) clk() clock.Clock {
 }
 
 // New returns a client for the service at baseURL.
-func New(baseURL, token string) *XtractClient {
-	return &XtractClient{
+func New(baseURL, token string, opts ...Option) *XtractClient {
+	c := &XtractClient{
 		BaseURL:    baseURL,
 		Token:      token,
 		HTTPClient: &http.Client{Timeout: 30 * time.Second},
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// do issues a request and decodes the JSON response into out.
+// token returns the current bearer token, minting one from the source
+// when none is set yet.
+func (c *XtractClient) token() (string, error) {
+	c.tokenMu.Lock()
+	defer c.tokenMu.Unlock()
+	if c.Token == "" && c.Source != nil {
+		tok, err := c.Source()
+		if err != nil {
+			return "", fmt.Errorf("sdk: token source: %w", err)
+		}
+		c.Token = tok
+	}
+	return c.Token, nil
+}
+
+// remint replaces the token after an auth_expired response. stale is
+// the token the failed request used: if another goroutine already
+// refreshed it, the fresh token is reused instead of minting again.
+func (c *XtractClient) remint(stale string) (string, error) {
+	c.tokenMu.Lock()
+	defer c.tokenMu.Unlock()
+	if c.Token != stale && c.Token != "" {
+		return c.Token, nil
+	}
+	tok, err := c.Source()
+	if err != nil {
+		return "", fmt.Errorf("sdk: token source: %w", err)
+	}
+	c.Token = tok
+	return tok, nil
+}
+
+// do issues a request and decodes the JSON response into out. With a
+// token source configured, an auth_expired response triggers one
+// re-mint and one retry.
 func (c *XtractClient) do(method, path string, body, out interface{}) error {
+	tok, err := c.token()
+	if err != nil {
+		return err
+	}
+	err = c.doOnce(method, path, tok, body, out)
+	if c.Source == nil {
+		return err
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || !ae.IsAuthExpired() {
+		return err
+	}
+	fresh, merr := c.remint(tok)
+	if merr != nil {
+		return merr
+	}
+	return c.doOnce(method, path, fresh, body, out)
+}
+
+// doOnce issues exactly one request with the given token.
+func (c *XtractClient) doOnce(method, path, token string, body, out interface{}) error {
 	var reader io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -116,8 +232,8 @@ func (c *XtractClient) do(method, path string, body, out interface{}) error {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if c.Token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.Token)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
 	}
 	resp, err := c.HTTPClient.Do(req)
 	if err != nil {
@@ -129,7 +245,7 @@ func (c *XtractClient) do(method, path string, body, out interface{}) error {
 		return err
 	}
 	if resp.StatusCode >= 400 {
-		return parseAPIError(method, path, resp.StatusCode, data)
+		return parseAPIError(method, path, resp.StatusCode, resp.Header, data)
 	}
 	if out == nil {
 		return nil
@@ -247,9 +363,46 @@ func (c *XtractClient) Metrics() (string, error) {
 		return "", err
 	}
 	if resp.StatusCode >= 400 {
-		return "", parseAPIError(http.MethodGet, "/metrics", resp.StatusCode, data)
+		return "", parseAPIError(http.MethodGet, "/metrics", resp.StatusCode, resp.Header, data)
 	}
 	return string(data), nil
+}
+
+// TenantUsage fetches a tenant's cost accounting (tasks dispatched,
+// steps, bytes staged, extractor-seconds, cache hits). A caller may
+// only read its own tenant's usage.
+func (c *XtractClient) TenantUsage(tenantID string) (api.TenantUsageResponse, error) {
+	var resp api.TenantUsageResponse
+	err := c.do(http.MethodGet, "/api/v1/tenants/"+url.PathEscape(tenantID)+"/usage", nil, &resp)
+	return resp, err
+}
+
+// MintToken asks the dev-mode mint endpoint for a bearer token. It
+// fails with not_implemented unless the server runs with dev tokens
+// enabled.
+func (c *XtractClient) MintToken(identity string, scopes []string, ttl time.Duration) (api.TokenResponse, error) {
+	var resp api.TokenResponse
+	err := c.do(http.MethodPost, "/api/v1/token", api.TokenRequest{
+		Identity:   identity,
+		Scopes:     scopes,
+		TTLSeconds: int(ttl / time.Second),
+	}, &resp)
+	return resp, err
+}
+
+// DevTokenSource returns a TokenSource minting tokens for identity from
+// the service's dev-mode mint endpoint — pair with WithTokenSource for
+// a client that bootstraps and refreshes its own auth against a dev
+// server.
+func DevTokenSource(baseURL, identity string, scopes []string, ttl time.Duration) TokenSource {
+	mint := New(baseURL, "")
+	return func() (string, error) {
+		resp, err := mint.MintToken(identity, scopes, ttl)
+		if err != nil {
+			return "", err
+		}
+		return resp.Token, nil
+	}
 }
 
 // Sites lists the service's registered sites.
