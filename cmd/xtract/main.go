@@ -15,12 +15,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"xtract/internal/api"
 	"xtract/internal/auth"
 	"xtract/internal/clock"
+	"xtract/internal/cluster"
 	"xtract/internal/core"
 	"xtract/internal/crawler"
 	"xtract/internal/deploy"
@@ -65,6 +67,7 @@ func usage() {
   xtract extract -root DIR [-out DIR] [-grouper single|extension|directory|matio] [-workers N] [-validator passthrough|mdf]
   xtract search  -metadata DIR -q QUERY
   xtract serve   -root DIR [-addr :8080] [-cache N] [-journal DIR] [-auth-key KEY] [-task-slots N]
+                 [-node-id ID -cluster-peers id=URL,id=URL,... [-lease-ttl 10s]]
   xtract extractors`)
 }
 
@@ -164,6 +167,9 @@ func runServe(args []string) error {
 	tenantMaxJobs := fs.Int("tenant-max-jobs", 0, "per-tenant concurrent job cap (0 = unlimited)")
 	tenantInflight := fs.Int("tenant-inflight", 0, "per-tenant in-flight task cap (0 = unlimited)")
 	taskSlots := fs.Int("task-slots", 0, "global task slots shared fairly across tenants (0 = unlimited)")
+	nodeID := fs.String("node-id", "", "this node's cluster identity (required with -cluster-peers)")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated id=http://host:port cluster members, including this node; enables cluster mode")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "job ownership lease TTL in cluster mode")
 	_ = fs.Parse(args)
 	if *root == "" {
 		return fmt.Errorf("-root is required")
@@ -213,9 +219,44 @@ func runServe(args []string) error {
 		return fmt.Errorf("-dev-tokens requires -auth-key")
 	}
 
+	// Cluster mode: static membership from -cluster-peers. Every node
+	// builds the same consistent-hash ring from the same peer list, so
+	// submissions hash to the same owner no matter which node a client
+	// dials; non-owners answer 307 to the owner. Ownership leases are
+	// journaled, and minted job IDs carry -node-id so nodes sharing a
+	// journal directory never collide.
+	var node *cluster.Node
+	if *clusterPeers != "" {
+		if *nodeID == "" {
+			return fmt.Errorf("-cluster-peers requires -node-id")
+		}
+		if jnl == nil {
+			return fmt.Errorf("-cluster-peers requires -journal (ownership leases are journaled)")
+		}
+		coord := cluster.NewCoordinator(cluster.Options{Clock: clk, LeaseTTL: *leaseTTL, Journal: jnl})
+		self := false
+		for _, p := range strings.Split(*clusterPeers, ",") {
+			id, addr, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || id == "" || addr == "" {
+				return fmt.Errorf("bad -cluster-peers entry %q (want id=http://host:port)", p)
+			}
+			if id == *nodeID {
+				self = true
+				node = cluster.NewNode(coord, id, addr)
+			} else {
+				coord.Join(id, addr)
+			}
+		}
+		if !self {
+			return fmt.Errorf("-cluster-peers does not list -node-id %q", *nodeID)
+		}
+		coord.RegisterUsage(*nodeID, tenants.UsageFor)
+		tenants.SetPeerActive(func(t string) int { return coord.PeerActive(*nodeID, t) })
+	}
+
 	d, err := deploy.New(ctx, clk, []deploy.SiteSpec{
 		{Name: "local", Store: src, Workers: *workers},
-	}, deploy.Options{CacheCapacity: *cacheCap, Journal: jnl, Tenants: tenants})
+	}, deploy.Options{CacheCapacity: *cacheCap, Journal: jnl, Tenants: tenants, Cluster: node})
 	if err != nil {
 		return err
 	}
@@ -224,22 +265,26 @@ func runServe(args []string) error {
 	srv.SetObserver(d.Obs)
 	srv.SetBaseContext(d.Ctx)
 	srv.SetTenants(tenants)
+	if node != nil {
+		srv.SetCluster(node)
+	}
 	if *devTokens {
 		srv.EnableDevTokens()
 		fmt.Printf("dev token minting enabled at POST /api/v1/token\n")
 	}
 	srv.EnableSearch(index.New(), d.Dest, "/metadata")
 
+	lib := d.Library
+	recOpts := core.RecoveryOptions{
+		Grouper:  func(name string) (crawler.GroupingFunc, error) { return grouperByName(name, lib) },
+		OnResume: srv.TrackJob,
+		Queues: []*queue.Queue{
+			d.Queues.Families, d.Queues.Prefetch,
+			d.Queues.PrefetchDone, d.Queues.Results,
+		},
+	}
 	if jnl != nil {
-		lib := d.Library
-		status, err := d.Service.Recover(d.Ctx, core.RecoveryOptions{
-			Grouper:  func(name string) (crawler.GroupingFunc, error) { return grouperByName(name, lib) },
-			OnResume: srv.TrackJob,
-			Queues: []*queue.Queue{
-				d.Queues.Families, d.Queues.Prefetch,
-				d.Queues.PrefetchDone, d.Queues.Results,
-			},
-		})
+		status, err := d.Service.Recover(d.Ctx, recOpts)
 		if err != nil {
 			return err
 		}
@@ -247,8 +292,21 @@ func runServe(args []string) error {
 		if status.TornTail {
 			fmt.Printf(", torn tail tolerated")
 		}
-		fmt.Printf("); recovery: %d resumed, %d terminal, %d cancelled, %d failed, %d steps reconciled\n",
+		fmt.Printf("); recovery: %d resumed, %d terminal, %d cancelled, %d failed, %d steps reconciled",
 			status.Resumed, status.Terminal, status.Cancelled, status.Failed, status.StepsReconciled)
+		if status.Foreign > 0 {
+			fmt.Printf(", %d owned elsewhere", status.Foreign)
+		}
+		fmt.Println()
+	}
+	if node != nil {
+		// The node loop heartbeats, renews this node's job leases, and
+		// scans for orphaned jobs (dead owner, ring says ours) to adopt.
+		go node.Run(d.Ctx, func(scanCtx context.Context) {
+			d.Service.FailoverScan(scanCtx, recOpts)
+		})
+		fmt.Printf("cluster: node %q of %d members, lease TTL %v\n",
+			node.ID(), len(node.Coordinator().Members()), *leaseTTL)
 	}
 
 	handler := srv.Handler()

@@ -15,6 +15,7 @@
 //	GET    /api/v1/extractors            crawl     registered extractors
 //	GET    /api/v1/cache                 crawl     extraction result cache statistics
 //	GET    /api/v1/recovery              crawl     journal recovery status
+//	GET    /api/v1/cluster               crawl     cluster membership and lease counts
 //	GET    /api/v1/search                validate  metadata search
 //	POST   /api/v1/index/refresh         validate  re-ingest validated metadata
 //	POST   /api/v1/token                 —         dev-mode token mint (EnableDevTokens)
@@ -24,6 +25,14 @@
 // token's identity, a caller only sees its own jobs, and cross-tenant
 // access answers 403 with code "tenant_forbidden". Quota refusals answer
 // 429 with code "tenant_quota" and a Retry-After header.
+//
+// When the server runs as a cluster node (SetCluster), job routes are
+// placement-aware: a submission hashed to another node — or a request
+// for a job whose lease another node holds — answers 307 Temporary
+// Redirect with the owner's address in Location. 307 preserves method
+// and body, so the client replays the identical request; the SDK
+// follows these redirects re-attaching its bearer token (Go's default
+// client strips Authorization across hosts).
 //
 // Errors use a structured envelope {"error": {"code", "message"}}; the
 // top-level "message" string mirrors error.message for clients of the
@@ -48,6 +57,7 @@ import (
 
 	"xtract/internal/auth"
 	"xtract/internal/cache"
+	"xtract/internal/cluster"
 	"xtract/internal/core"
 	"xtract/internal/crawler"
 	"xtract/internal/extractors"
@@ -179,12 +189,26 @@ type RefreshResponse struct {
 // TenantUsageResponse answers GET /api/v1/tenants/{id}/usage: the
 // tenant's cumulative cost accounting and effective limits. Enabled is
 // false when the service runs without a tenancy controller, in which
-// case Usage and Limits are zero-valued.
+// case Usage and Limits are zero-valued. On a cluster node Usage is the
+// tenant's accounting summed across every member's controller and
+// Global is true; standalone servers report local usage only.
 type TenantUsageResponse struct {
 	Enabled bool          `json:"enabled"`
+	Global  bool          `json:"global,omitempty"`
 	Tenant  string        `json:"tenant"`
 	Usage   tenant.Usage  `json:"usage"`
 	Limits  tenant.Limits `json:"limits"`
+}
+
+// ClusterResponse answers GET /api/v1/cluster: membership as the
+// answering node sees it. Enabled is false when the server runs
+// standalone (no cluster node attached).
+type ClusterResponse struct {
+	Enabled bool `json:"enabled"`
+	// Self is the answering node's ID — lets a client map an address
+	// it dialed to a member row.
+	Self    string           `json:"self,omitempty"`
+	Members []cluster.Member `json:"members,omitempty"`
 }
 
 // TokenRequest asks the dev-mode mint endpoint for a bearer token.
@@ -310,6 +334,10 @@ type Server struct {
 	// tenants enforces per-tenant quotas and keeps usage accounting;
 	// nil disables tenancy (every caller is the default tenant).
 	tenants *tenant.Controller
+	// cluster makes this server one node of a multi-node deployment:
+	// submissions are placed by consistent hashing and requests for
+	// jobs owned elsewhere answer 307 to the owner. Nil = standalone.
+	cluster *cluster.Node
 	// devTokens enables the POST /api/v1/token mint endpoint — dev mode
 	// only, it hands out tokens to anyone who can reach the socket.
 	devTokens bool
@@ -358,6 +386,12 @@ func NewServer(svc *core.Service, reg *registry.Registry, lib *extractors.Librar
 // admission control and GET /api/v1/tenants/{id}/usage serves its
 // accounting.
 func (s *Server) SetTenants(t *tenant.Controller) { s.tenants = t }
+
+// SetCluster makes the server placement-aware: submissions hash to an
+// owning node (307 when it isn't this one), job routes redirect to the
+// live lease holder, GET /api/v1/cluster serves membership, and tenant
+// usage aggregates across all members.
+func (s *Server) SetCluster(n *cluster.Node) { s.cluster = n }
 
 // EnableDevTokens turns on the POST /api/v1/token mint endpoint. Dev
 // mode only: anyone who can reach the socket can mint tokens.
@@ -430,6 +464,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /api/v1/extractors", auth.ScopeCrawl, s.handleExtractors)
 	route("GET /api/v1/cache", auth.ScopeCrawl, s.handleCacheStats)
 	route("GET /api/v1/recovery", auth.ScopeCrawl, s.handleRecovery)
+	route("GET /api/v1/cluster", auth.ScopeCrawl, s.handleCluster)
 	route("GET /api/v1/search", auth.ScopeValidate, s.handleSearch)
 	route("POST /api/v1/index/refresh", auth.ScopeValidate, s.handleRefresh)
 	route("POST /api/v1/token", "", s.handleMintToken)
@@ -530,6 +565,39 @@ func forbidCrossTenant(w http.ResponseWriter, jobID string) {
 		fmt.Errorf("api: job %s is not owned by your tenant", jobID))
 }
 
+// redirectToNode answers 307 Temporary Redirect pointing the client at
+// the owning node. 307 (not 302) so the method and body are preserved
+// when the client replays the request.
+func redirectToNode(w http.ResponseWriter, r *http.Request, addr string) {
+	target := strings.TrimRight(addr, "/") + r.URL.RequestURI()
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+}
+
+// clusterRedirect answers a 307 to the node that can serve jobID when
+// that node is not this one, reporting whether it did. The live lease
+// holder wins; with no live lease (terminal, or orphaned awaiting
+// failover) the node that minted the ID is the best effort — it keeps
+// terminal jobs reachable through any node after the lease is released.
+// Unknown nodes fall through to a local lookup.
+func (s *Server) clusterRedirect(w http.ResponseWriter, r *http.Request, jobID string) bool {
+	if s.cluster == nil {
+		return false
+	}
+	target := registry.MintingNode(jobID)
+	if l, ok := s.cluster.Coordinator().Holder(jobID); ok {
+		target = l.Node
+	}
+	if target == "" || target == s.cluster.ID() {
+		return false
+	}
+	addr, ok := s.cluster.Coordinator().Addr(target)
+	if !ok || addr == "" {
+		return false
+	}
+	redirectToNode(w, r, addr)
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -557,6 +625,24 @@ func (s *Server) grouperByName(name string) (crawler.GroupingFunc, error) {
 	default:
 		return nil, fmt.Errorf("api: unknown grouper %q", name)
 	}
+}
+
+// placementKey derives the consistent-hash key that places a submission
+// on a node: the tenant plus every repository's site and roots. The key
+// is deterministic for a given request, so a client replaying a
+// redirected submission hashes to the same owner it was sent to.
+func placementKey(ten string, req JobRequest) string {
+	var b strings.Builder
+	b.WriteString(ten)
+	for _, repo := range req.Repos {
+		b.WriteByte('|')
+		b.WriteString(repo.Site)
+		for _, root := range repo.Roots {
+			b.WriteByte('/')
+			b.WriteString(root)
+		}
+	}
+	return b.String()
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -591,10 +677,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 
+	// Placement runs after validation (a malformed request should 400
+	// here, not bounce between nodes) and before admission, so the rate
+	// tokens and job-slot reservation are consumed on the node that will
+	// actually run the job.
+	ten := tenantOf(r)
+	if s.cluster != nil {
+		owner, addr, ok := s.cluster.Coordinator().Owner(placementKey(ten, req))
+		if ok && owner != s.cluster.ID() && addr != "" {
+			redirectToNode(w, r, addr)
+			return
+		}
+	}
+
 	// Admission control runs after request validation — a 400 must never
 	// consume the tenant's rate tokens or leak a job-slot reservation.
 	// The reservation taken here is consumed by the pump's JobStarted.
-	ten := tenantOf(r)
 	if err := s.tenants.AdmitJob(ten); err != nil {
 		var qe *tenant.QuotaError
 		if errors.As(err, &qe) {
@@ -639,6 +737,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.clusterRedirect(w, r, id) {
+		return
+	}
 	rec, err := s.reg.Job(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, CodeNotFound, err)
@@ -730,6 +831,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.clusterRedirect(w, r, id) {
+		return
+	}
 	rec, err := s.reg.Job(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, CodeNotFound, err)
@@ -748,6 +852,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// A cancel must reach the node whose pump is running the job — the
+	// live lease holder — so redirect before any local lookup.
+	if s.clusterRedirect(w, r, id) {
+		return
+	}
 	// Ownership is checked against the registry record before the cancel
 	// fires — a tenant must not be able to kill another tenant's job.
 	rec, err := s.reg.Job(id)
@@ -784,10 +893,32 @@ func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request) {
 	resp := TenantUsageResponse{Tenant: id}
 	if s.tenants != nil {
 		resp.Enabled = true
-		resp.Usage, _ = s.tenants.UsageFor(id)
+		if s.cluster != nil {
+			// Cluster mode: usage is global — the sum over every live
+			// member's controller — so quotas and billing read the same
+			// totals no matter which node answers.
+			resp.Global = true
+			resp.Usage, _ = s.cluster.Coordinator().GlobalUsage(id)
+		} else {
+			resp.Usage, _ = s.tenants.UsageFor(id)
+		}
 		resp.Limits = s.tenants.LimitsFor(id)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCluster serves membership as this node sees it: every known
+// member, its liveness, and how many job leases it currently holds.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, ClusterResponse{})
+		return
+	}
+	writeJSON(w, http.StatusOK, ClusterResponse{
+		Enabled: true,
+		Self:    s.cluster.ID(),
+		Members: s.cluster.Coordinator().Members(),
+	})
 }
 
 // handleMintToken is the dev-mode token mint: enabled only via

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Node is one serve process's handle on the cluster: its identity and
+// address, the leases it currently holds, and the pump cancellers to
+// fire when a lease is lost (the local half of fencing — a node that
+// cannot renew stops driving the job immediately instead of racing its
+// successor).
+type Node struct {
+	coord *Coordinator
+	id    string
+	addr  string
+
+	mu    sync.Mutex
+	held  map[string]Lease
+	pumps map[string]context.CancelFunc
+}
+
+// NewNode creates the handle and joins the cluster.
+func NewNode(c *Coordinator, id, addr string) *Node {
+	n := &Node{
+		coord: c,
+		id:    id,
+		addr:  addr,
+		held:  make(map[string]Lease),
+		pumps: make(map[string]context.CancelFunc),
+	}
+	c.Join(id, addr)
+	return n
+}
+
+// ID returns the node identity.
+func (n *Node) ID() string { return n.id }
+
+// Addr returns the node's advertised address.
+func (n *Node) Addr() string { return n.addr }
+
+// Coordinator returns the shared coordination state.
+func (n *Node) Coordinator() *Coordinator { return n.coord }
+
+// AcquireJob takes the lease on a freshly submitted job.
+func (n *Node) AcquireJob(jobID string) error { return n.AdoptLease(jobID, 0) }
+
+// AdoptLease takes the lease on jobID with a fencing-epoch floor — a
+// recovering or adopting node passes the journaled epoch so the issued
+// epoch supersedes anything the previous owner could still write.
+func (n *Node) AdoptLease(jobID string, minEpoch int64) error {
+	l, err := n.coord.Acquire(jobID, n.id, minEpoch)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.held[jobID] = l
+	n.mu.Unlock()
+	return nil
+}
+
+// ReleaseJob drops the lease after a job reaches its terminal record.
+func (n *Node) ReleaseJob(jobID string) {
+	n.mu.Lock()
+	l, ok := n.held[jobID]
+	delete(n.held, jobID)
+	n.mu.Unlock()
+	if ok {
+		_ = n.coord.Release(l)
+	}
+}
+
+// HoldsLive reports whether this node's lease on jobID is the current
+// live one — the fencing predicate the core service checks before every
+// journal append for the job.
+func (n *Node) HoldsLive(jobID string) bool {
+	n.mu.Lock()
+	l, ok := n.held[jobID]
+	n.mu.Unlock()
+	return ok && n.coord.Valid(jobID, l.Node, l.Epoch)
+}
+
+// HeldEpoch returns the fencing epoch of the held lease (0 when not
+// held).
+func (n *Node) HeldEpoch(jobID string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.held[jobID].Epoch
+}
+
+// Owns reports whether this node is key's placement-ring owner. With no
+// live members (all heartbeats stale — e.g. during shutdown) it answers
+// false.
+func (n *Node) Owns(key string) bool {
+	id, _, ok := n.coord.Owner(key)
+	return ok && id == n.id
+}
+
+// TrackPump registers the canceller for a running job's pump so a lost
+// lease stops the pump immediately.
+func (n *Node) TrackPump(jobID string, cancel context.CancelFunc) {
+	n.mu.Lock()
+	n.pumps[jobID] = cancel
+	n.mu.Unlock()
+}
+
+// UntrackPump removes a finished job's canceller.
+func (n *Node) UntrackPump(jobID string) {
+	n.mu.Lock()
+	delete(n.pumps, jobID)
+	n.mu.Unlock()
+}
+
+// RenewAll renews every held lease. A lease that comes back fenced is
+// dropped and its pump cancelled: this node no longer owns the job, and
+// the journal-append fence stops anything already in flight.
+func (n *Node) RenewAll() {
+	n.mu.Lock()
+	held := make([]Lease, 0, len(n.held))
+	for _, l := range n.held {
+		held = append(held, l)
+	}
+	n.mu.Unlock()
+	for _, l := range held {
+		renewed, err := n.coord.Renew(l)
+		n.mu.Lock()
+		if err == nil {
+			// Keep the newest view unless the job finished meanwhile.
+			if _, ok := n.held[l.JobID]; ok {
+				n.held[l.JobID] = renewed
+			}
+			n.mu.Unlock()
+			continue
+		}
+		delete(n.held, l.JobID)
+		cancel := n.pumps[l.JobID]
+		delete(n.pumps, l.JobID)
+		n.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// Run drives the node's maintenance loop until ctx ends: heartbeat,
+// lease renewal, and the failover scan (adopting unowned journaled jobs
+// this node places). The loop ticks at a third of the lease TTL so a
+// healthy node never lets a lease lapse, and reruns immediately on
+// membership changes.
+func (n *Node) Run(ctx context.Context, scan func(context.Context)) {
+	interval := n.coord.LeaseTTL() / 3
+	if n.coord.beatTTL > 0 && n.coord.beatTTL/3 < interval {
+		interval = n.coord.beatTTL / 3
+	}
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	changed := n.coord.Subscribe()
+	for {
+		n.coord.Heartbeat(n.id)
+		n.RenewAll()
+		if scan != nil {
+			scan(ctx)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.coord.clk.After(interval):
+		case <-changed:
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the number of virtual points each node contributes to
+// the placement ring. More points smooth the key distribution; the
+// value is modest because clusters are small (a handful of serve
+// nodes), not storage-scale.
+const ringVnodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// ring is a consistent-hash circle over a node set: a key is owned by
+// the first virtual point clockwise from the key's hash. Removing a
+// node only remaps the keys its own points owned; every other key keeps
+// its owner — the property the failover tests pin.
+type ring struct {
+	points []ringPoint
+}
+
+// hashKey is FNV-1a over the key bytes: stable across processes and
+// runs, which placement requires (every node must compute the same
+// owner for the same key).
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}
+
+// buildRing constructs the circle for a node set.
+func buildRing(nodes []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(nodes)*ringVnodes)}
+	for _, n := range nodes {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hashKey(n + "#" + strconv.Itoa(v)), n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node
+	})
+	return r
+}
+
+// owner returns the node owning key, or false on an empty ring.
+func (r *ring) owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}

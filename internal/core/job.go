@@ -241,6 +241,19 @@ func (s *Service) RunJobNotifyOpts(ctx context.Context, repos []RepoSpec, opts J
 		names = append(names, r.SiteName)
 	}
 	jobID := s.cfg.Registry.CreateJob(tenant.Normalize(opts.Tenant), names, s.clk.Now())
+	if s.cfg.Cluster != nil {
+		// Ownership lease before the submission record: a peer's failover
+		// scan sees the job in the journal's live fold only after the
+		// lease already guards it, so a just-submitted job can never be
+		// adopted out from under its submitter. (Lease records for a job
+		// the fold does not know yet are skipped on replay — harmless.)
+		// Fresh IDs are node-unique, so acquisition can only fail on a
+		// coordination-layer fault.
+		if err := s.cfg.Cluster.AcquireJob(jobID); err != nil {
+			s.failJob(jobID, tenant.Normalize(opts.Tenant), err)
+			return JobStats{JobID: jobID}, err
+		}
+	}
 	s.journalAppend(journal.Record{
 		Type:  journal.RecJobSubmitted,
 		JobID: jobID,
@@ -341,7 +354,20 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 	defer func() {
 		cancelJob()
 		p.shardWG.Wait()
+		if s.cfg.Cluster != nil {
+			s.cfg.Cluster.UntrackPump(jobID)
+			// A draining node keeps its leases: they expire on their own
+			// TTL, which is exactly how a dead node's jobs become
+			// adoptable. Any other exit releases the lease after the
+			// terminal record (the release record then post-dates it).
+			if !s.draining.Load() {
+				s.cfg.Cluster.ReleaseJob(jobID)
+			}
+		}
 	}()
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.TrackPump(jobID, cancelJob)
+	}
 	// Endpoint liveness is scanned on its own timer, decoupled from pump
 	// progress, so tasks stranded on a dead allocation surface as LOST —
 	// and wake the pump through their completion notification — even
@@ -491,6 +517,13 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 // nothing terminal is recorded — the journal keeps the job live and
 // recovery resumes it. ten is the owning tenant for outcome accounting.
 func (s *Service) failJob(jobID, ten string, err error) {
+	if s.cfg.Cluster != nil && !s.cfg.Cluster.HoldsLive(jobID) && !s.draining.Load() {
+		// The job's lease moved to another node (this pump was cancelled
+		// by fencing, not by the user): the new owner drives the job to
+		// its real outcome; recording a terminal state here would be the
+		// split-brain write the fence exists to stop.
+		return
+	}
 	state := registry.JobFailed
 	event := obs.EvJobFailed
 	if errors.Is(err, context.Canceled) {
@@ -562,6 +595,9 @@ func (p *pump) journal(rec journal.Record) {
 		return
 	}
 	rec.JobID = p.jobID
+	if p.s.fenced(rec) {
+		return
+	}
 	if err := p.s.cfg.Journal.AppendAsync(rec); err != nil {
 		p.s.obsJournalErrors.Inc()
 	}

@@ -35,10 +35,14 @@ type RecoveryOptions struct {
 type RecoveredJob struct {
 	JobID string `json:"job_id"`
 	// Disposition is "terminal" (outcome replayed as-is), "cancelled"
-	// (durable cancellation honored), "resumed" (pump restarted), or
-	// "failed" (unrecoverable, e.g. unknown grouper).
+	// (durable cancellation honored), "resumed" (pump restarted),
+	// "failed" (unrecoverable, e.g. unknown grouper), or "foreign"
+	// (cluster mode: another node holds the job's lease, so this node
+	// leaves it alone).
 	Disposition string `json:"disposition"`
 	State       string `json:"state,omitempty"`
+	// Owner names the lease holder for "foreign" dispositions.
+	Owner string `json:"owner,omitempty"`
 	// StepsReconciled counts journaled step completions seeded into the
 	// result cache so the resumed job replays them instead of re-running
 	// extractors.
@@ -60,6 +64,7 @@ type RecoveryStatus struct {
 	Terminal        int `json:"terminal"`
 	Cancelled       int `json:"cancelled"`
 	Failed          int `json:"failed"`
+	Foreign         int `json:"foreign,omitempty"`
 	StepsReconciled int `json:"steps_reconciled"`
 	// Reclaimed counts queue messages forced back to visible.
 	Reclaimed int `json:"reclaimed"`
@@ -122,6 +127,8 @@ func (s *Service) Recover(ctx context.Context, opts RecoveryOptions) (RecoverySt
 			status.Cancelled++
 		case "failed":
 			status.Failed++
+		case "foreign":
+			status.Foreign++
 		}
 		s.obsRecoveredJobs.With(rj.Disposition).Inc()
 	}
@@ -180,6 +187,29 @@ func (s *Service) recoverJob(ctx context.Context, js *journal.JobState, opts Rec
 		}
 		s.obs.Emitf(js.ID, obs.EvJobRecovered, "disposition=%s state=%s", disposition, js.State)
 		return RecoveredJob{JobID: js.ID, Disposition: disposition, State: js.State, Err: js.Err}
+	}
+
+	if s.cfg.Cluster != nil {
+		// Lease-aware recovery: a restarting node re-adopts only jobs
+		// whose lease it can (re-)take. The journaled lease covers peers
+		// not reachable through the live coordinator (a fresh process
+		// replaying a shared log); the AdoptLease call is the
+		// authoritative race — whoever acquires first, fencing the
+		// journaled epoch, owns the resume.
+		if js.LeaseNode != "" && js.LeaseNode != s.cfg.Cluster.ID() {
+			if exp, err := time.Parse(time.RFC3339Nano, js.LeaseExpiry); err == nil && s.clk.Now().Before(exp) {
+				s.obs.Emitf(js.ID, obs.EvJobRecovered, "disposition=foreign owner=%s", js.LeaseNode)
+				return RecoveredJob{JobID: js.ID, Disposition: "foreign", Owner: js.LeaseNode}
+			}
+		}
+		if err := s.cfg.Cluster.AdoptLease(js.ID, js.LeaseEpoch); err != nil {
+			owner := ""
+			if l, ok := s.cfg.Cluster.Coordinator().Holder(js.ID); ok {
+				owner = l.Node
+			}
+			s.obs.Emitf(js.ID, obs.EvJobRecovered, "disposition=foreign owner=%s", owner)
+			return RecoveredJob{JobID: js.ID, Disposition: "foreign", Owner: owner}
+		}
 	}
 
 	fail := func(msg string) RecoveredJob {
@@ -263,4 +293,57 @@ func (s *Service) recoverJob(ctx context.Context, js *journal.JobState, opts Rec
 		JobID: js.ID, Disposition: "resumed", State: string(registry.JobExtracting),
 		StepsReconciled: reconciled, Families: len(js.Families),
 	}
+}
+
+// AdoptJob fails one journaled job over to this node: the job's live
+// fold is snapshotted from the shared journal, its lease acquired with
+// the journaled epoch as fencing floor, journaled step completions are
+// seeded into the result cache, and the pump re-enters runJob under the
+// original job ID. ok is false when the job is unknown, already
+// terminal, or still owned elsewhere. Calls for the same job must be
+// serialized (Node.Run's scan loop is).
+func (s *Service) AdoptJob(ctx context.Context, jobID string, opts RecoveryOptions) (RecoveredJob, bool) {
+	if s.cfg.Journal == nil || s.cfg.Cluster == nil {
+		return RecoveredJob{}, false
+	}
+	if s.cfg.Cluster.HoldsLive(jobID) {
+		return RecoveredJob{}, false // already running here
+	}
+	js, ok := s.cfg.Journal.JobSnapshot(jobID)
+	if !ok || js.Terminal {
+		return RecoveredJob{}, false
+	}
+	rj := s.recoverJob(ctx, js, opts)
+	s.obsRecoveredJobs.With(rj.Disposition).Inc()
+	return rj, rj.Disposition == "resumed"
+}
+
+// FailoverScan sweeps the journal's live fold for non-terminal jobs
+// with no live lease whose placement-ring owner is this node, and
+// adopts each one. The scan is the cluster's failover engine: when a
+// node dies, its leases expire, and the next scan on the ring successor
+// picks the orphaned jobs up. Returns the number of jobs adopted.
+func (s *Service) FailoverScan(ctx context.Context, opts RecoveryOptions) int {
+	if s.cfg.Journal == nil || s.cfg.Cluster == nil || s.draining.Load() {
+		return 0
+	}
+	adopted := 0
+	for _, id := range s.cfg.Journal.LiveJobs() {
+		if ctx.Err() != nil {
+			return adopted
+		}
+		if s.cfg.Cluster.HoldsLive(id) {
+			continue // running here already
+		}
+		if _, held := s.cfg.Cluster.Coordinator().Holder(id); held {
+			continue // live lease elsewhere: sticky, no rebalance mid-run
+		}
+		if !s.cfg.Cluster.Owns(id) {
+			continue // the ring places this orphan on another node
+		}
+		if _, ok := s.AdoptJob(ctx, id, opts); ok {
+			adopted++
+		}
+	}
+	return adopted
 }

@@ -17,6 +17,7 @@ import (
 
 	"xtract/internal/cache"
 	"xtract/internal/clock"
+	"xtract/internal/cluster"
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
 	"xtract/internal/journal"
@@ -167,6 +168,12 @@ type Config struct {
 	// and weighted fair-share task admission, and keeps per-tenant cost
 	// accounting. Nil disables tenancy (single-user operation).
 	Tenants *tenant.Controller
+	// Cluster, when set, is this node's handle on the multi-node
+	// coordination layer: jobs run under a renewable ownership lease,
+	// and journal appends for jobs this node no longer owns are fenced
+	// (dropped and counted) instead of written. Nil disables clustering
+	// (single-node operation).
+	Cluster *cluster.Node
 }
 
 // Service is the Xtract orchestrator.
@@ -236,6 +243,7 @@ type Service struct {
 	obsRecoveredJobs    *obs.CounterVec
 	obsRecoverySteps    *obs.Counter
 	obsRecoverySeconds  *obs.Histogram
+	obsClusterFenced    *obs.Counter
 
 	// draining is set by BeginShutdown: job contexts are about to be
 	// cancelled for a restart, so the cancellations must not be journaled
@@ -336,6 +344,8 @@ func New(cfg Config) *Service {
 		"Journaled step completions seeded into the result cache at recovery.")
 	s.obsRecoverySeconds = reg.Histogram("xtract_recovery_seconds",
 		"Wall time of the journal recovery pass (replay through resume).", nil)
+	s.obsClusterFenced = reg.Counter("xtract_cluster_fenced_appends_total",
+		"Journal appends dropped because this node's job lease was lost.")
 	if cfg.Cache != nil {
 		cfg.Cache.SetEvictionHook(func() { s.obsCacheEvictions.Inc() })
 	}
@@ -356,9 +366,35 @@ func (s *Service) journalAppend(rec journal.Record) {
 	if s.cfg.Journal == nil {
 		return
 	}
+	if s.fenced(rec) {
+		return
+	}
 	if err := s.cfg.Journal.Append(rec); err != nil {
 		s.obsJournalErrors.Inc()
 	}
+}
+
+// fenced reports whether rec must be dropped because this node's lease
+// on the record's job is no longer live — the write-side half of
+// split-brain protection: a node that lost a job to a peer cannot
+// corrupt the job's journaled history with late appends. Submission
+// records are exempt (the lease is taken right after them), as are
+// lease records themselves (the coordinator, not the lessee, is
+// authoritative for those).
+func (s *Service) fenced(rec journal.Record) bool {
+	if s.cfg.Cluster == nil || rec.JobID == "" {
+		return false
+	}
+	switch rec.Type {
+	case journal.RecJobSubmitted, journal.RecLeaseAcquired,
+		journal.RecLeaseRenewed, journal.RecLeaseReleased:
+		return false
+	}
+	if s.cfg.Cluster.HoldsLive(rec.JobID) {
+		return false
+	}
+	s.obsClusterFenced.Inc()
+	return true
 }
 
 // BeginShutdown marks the service as draining for a graceful stop: job

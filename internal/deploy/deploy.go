@@ -10,6 +10,7 @@ import (
 
 	"xtract/internal/cache"
 	"xtract/internal/clock"
+	"xtract/internal/cluster"
 	"xtract/internal/core"
 	"xtract/internal/extractors"
 	"xtract/internal/faas"
@@ -81,6 +82,11 @@ type Options struct {
 	// controller; it is instrumented on the deployment's metric registry
 	// and wired into the core service.
 	Tenants *tenant.Controller
+	// Cluster, when set, makes this deployment one node of a multi-node
+	// cluster: the core service fences journal writes by job lease, and
+	// minted job IDs carry the node identity so nodes sharing a journal
+	// never collide.
+	Cluster *cluster.Node
 }
 
 // Deployment is a running Xtract instance.
@@ -135,6 +141,9 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		cancel:  cancel,
 	}
 	d.Registry = registry.New(clk, 0)
+	if opts.Cluster != nil {
+		d.Registry.SetIDPrefix(opts.Cluster.ID())
+	}
 	families, prefetch, prefetchDone, results := core.NewQueues(clk)
 	d.Queues.Families, d.Queues.Prefetch = families, prefetch
 	d.Queues.PrefetchDone, d.Queues.Results = prefetchDone, results
@@ -173,6 +182,7 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		Cache:           resultCache,
 		Journal:         opts.Journal,
 		Tenants:         opts.Tenants,
+		Cluster:         opts.Cluster,
 	})
 	d.Tenants = opts.Tenants
 	opts.Tenants.Instrument(d.Obs.Reg())

@@ -41,6 +41,12 @@ const (
 	RecFamilyFailed     = "family_failed"
 	RecJobCancelled     = "job_cancelled"
 	RecJobTerminal      = "job_terminal"
+	// Cluster ownership records: a job's lease is acquired/renewed/
+	// released by a serve node, with a clock-injected TTL and a
+	// monotonically increasing fencing epoch.
+	RecLeaseAcquired = "lease_acquired"
+	RecLeaseRenewed  = "lease_renewed"
+	RecLeaseReleased = "lease_released"
 )
 
 // RepoSpec is the serializable form of one repository in a job plan: the
@@ -101,6 +107,10 @@ type Record struct {
 	// job_terminal
 	State string `json:"state,omitempty"`
 	Err   string `json:"err,omitempty"`
+	// lease_acquired / lease_renewed / lease_released
+	Node  string `json:"node,omitempty"`
+	Epoch int64  `json:"epoch,omitempty"`
+	TTLMS int64  `json:"ttl_ms,omitempty"`
 }
 
 // Errors returned by the writer.
@@ -209,6 +219,18 @@ func appendRecordJSON(b []byte, rec *Record) ([]byte, error) {
 	if rec.Err != "" {
 		b = append(b, `,"err":`...)
 		b = appendJSONString(b, rec.Err)
+	}
+	if rec.Node != "" {
+		b = append(b, `,"node":`...)
+		b = appendJSONString(b, rec.Node)
+	}
+	if rec.Epoch != 0 {
+		b = append(b, `,"epoch":`...)
+		b = strconv.AppendInt(b, rec.Epoch, 10)
+	}
+	if rec.TTLMS != 0 {
+		b = append(b, `,"ttl_ms":`...)
+		b = strconv.AppendInt(b, rec.TTLMS, 10)
 	}
 	return append(b, '}'), nil
 }
@@ -510,6 +532,43 @@ func Open(dir Dir, opts Options) (*Journal, error) {
 // Recovered returns the state replayed at Open — a private copy; later
 // appends do not mutate it.
 func (j *Journal) Recovered() *State { return j.recovered }
+
+// JobSnapshot returns a private copy of one job's live folded state —
+// the durable view a cluster peer adopts a failed-over job from. The
+// copy reflects records flushed so far; records still buffered in an
+// open group-commit batch are not yet visible.
+func (j *Journal) JobSnapshot(id string) (*JobState, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	js, ok := j.state.Jobs[id]
+	if !ok {
+		return nil, false
+	}
+	blob, err := json.Marshal(js)
+	if err != nil {
+		return nil, false
+	}
+	out := &JobState{}
+	if err := json.Unmarshal(blob, out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// LiveJobs lists the IDs of all non-terminal jobs in the live folded
+// state, sorted — the failover scan's work-list.
+func (j *Journal) LiveJobs() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ids := make([]string, 0, len(j.state.Jobs))
+	for id, js := range j.state.Jobs {
+		if !js.Terminal {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
 
 // Observe installs (or replaces) the append/fsync hooks after Open — the
 // journal is typically opened before the metrics registry exists.

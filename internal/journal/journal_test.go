@@ -579,6 +579,13 @@ func TestRecordEncoderMatchesEncodingJSON(t *testing.T) {
 			State: "日本語", Err: `back\slash "quote"`},
 		// Minimal record: every optional field empty.
 		{Seq: 10, Type: RecJobTerminal, JobID: "job-3", At: at},
+		// Cluster lease records carry node, fencing epoch, and TTL.
+		{Seq: 11, Type: RecLeaseAcquired, JobID: "job-n1-1", At: at,
+			Node: "n1", Epoch: 3, TTLMS: 10000},
+		{Seq: 12, Type: RecLeaseRenewed, JobID: "job-n1-1", At: at,
+			Node: `n"2`, Epoch: 4, TTLMS: 250},
+		{Seq: 13, Type: RecLeaseReleased, JobID: "job-n1-1", At: at,
+			Node: "n1", Epoch: 4},
 	}
 	for _, rec := range recs {
 		fast, err := appendRecordJSON(nil, &rec)

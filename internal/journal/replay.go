@@ -3,6 +3,7 @@ package journal
 import (
 	"encoding/json"
 	"sort"
+	"time"
 )
 
 // stepKeySep joins (family, group, extractor) into a step map key. The
@@ -44,6 +45,13 @@ type JobState struct {
 	Retries      int                 `json:"retries,omitempty"`
 	DeadLettered int                 `json:"dead_lettered,omitempty"`
 	FailedFams   int                 `json:"failed_families,omitempty"`
+	// Lease fields mirror the newest ownership record: which node held
+	// the job, at what fencing epoch, and when that lease expires
+	// (RFC3339Nano). A restarting node uses them to decide whether a
+	// journaled job is still owned elsewhere.
+	LeaseNode   string `json:"lease_node,omitempty"`
+	LeaseEpoch  int64  `json:"lease_epoch,omitempty"`
+	LeaseExpiry string `json:"lease_expiry,omitempty"`
 }
 
 // State is the fold of a journal: everything recovery needs to restore
@@ -147,6 +155,20 @@ func (s *State) Apply(rec Record) {
 		job.State = rec.State
 		job.Err = rec.Err
 		job.prune()
+	case RecLeaseAcquired, RecLeaseRenewed:
+		// An older lessee's stale record never rolls ownership back.
+		if rec.Epoch >= job.LeaseEpoch {
+			job.LeaseNode = rec.Node
+			job.LeaseEpoch = rec.Epoch
+			job.LeaseExpiry = rec.At.Add(time.Duration(rec.TTLMS) * time.Millisecond).
+				Format(time.RFC3339Nano)
+		}
+	case RecLeaseReleased:
+		if rec.Epoch >= job.LeaseEpoch {
+			job.LeaseNode = ""
+			job.LeaseEpoch = rec.Epoch
+			job.LeaseExpiry = ""
+		}
 	}
 }
 
@@ -156,6 +178,8 @@ func (s *State) Apply(rec Record) {
 func (j *JobState) prune() {
 	j.Families = nil
 	j.Steps = nil
+	j.LeaseNode = ""
+	j.LeaseExpiry = ""
 }
 
 // ReplayInfo reports what a replay scan found, including damage the

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -127,6 +128,7 @@ type Registry struct {
 	cache      map[string]ExtractorRecord
 	jobs       map[string]JobRecord
 	seq        int
+	idPrefix   string
 
 	CacheHits   metrics.Counter
 	CacheMisses metrics.Counter
@@ -185,6 +187,29 @@ func (r *Registry) Extractors() []string {
 	return out
 }
 
+// SetIDPrefix makes minted job IDs carry a node identity
+// ("job-<prefix>-<n>") so serve nodes sharing a journal never collide.
+func (r *Registry) SetIDPrefix(p string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idPrefix = p
+}
+
+// MintingNode extracts the node identity embedded in a cluster-minted
+// job ID ("job-<node>-<seq>"); it is empty for single-node IDs
+// ("job-<seq>").
+func MintingNode(jobID string) string {
+	rest, ok := strings.CutPrefix(jobID, "job-")
+	if !ok {
+		return ""
+	}
+	i := strings.LastIndexByte(rest, '-')
+	if i <= 0 {
+		return ""
+	}
+	return rest[:i]
+}
+
 // CreateJob persists a new job record owned by tenant and returns its
 // ID.
 func (r *Registry) CreateJob(tenant string, repositories []string, now time.Time) string {
@@ -192,6 +217,9 @@ func (r *Registry) CreateJob(tenant string, repositories []string, now time.Time
 	defer r.mu.Unlock()
 	r.seq++
 	id := fmt.Sprintf("job-%d", r.seq)
+	if r.idPrefix != "" {
+		id = fmt.Sprintf("job-%s-%d", r.idPrefix, r.seq)
+	}
 	r.jobs[id] = JobRecord{
 		ID:           id,
 		State:        JobCrawling,
@@ -214,6 +242,11 @@ func (r *Registry) RestoreJob(rec JobRecord) {
 	var n int
 	if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > r.seq {
 		r.seq = n
+	}
+	if r.idPrefix != "" {
+		if _, err := fmt.Sscanf(rec.ID, "job-"+r.idPrefix+"-%d", &n); err == nil && n > r.seq {
+			r.seq = n
+		}
 	}
 }
 

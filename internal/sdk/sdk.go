@@ -215,42 +215,81 @@ func (c *XtractClient) do(method, path string, body, out interface{}) error {
 	return c.doOnce(method, path, fresh, body, out)
 }
 
-// doOnce issues exactly one request with the given token.
+// maxRedirectHops bounds how many 307/308 redirects a single request
+// follows before giving up — enough for any sane cluster topology,
+// small enough to cut a redirect loop short.
+const maxRedirectHops = 5
+
+// doOnce issues one logical request with the given token, following
+// 307/308 redirects itself. Go's http.Client strips Authorization when
+// a redirect crosses hosts, but a cluster node's 307 points at a
+// sibling that requires the same bearer token — so redirects are
+// disabled on a copy of the transport and replayed manually with the
+// token (and body) re-attached.
 func (c *XtractClient) doOnce(method, path, token string, body, out interface{}) error {
-	var reader io.Reader
+	var payload []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		payload, err = json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		reader = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, reader)
-	if err != nil {
-		return err
+	hc := *c.HTTPClient
+	hc.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	url := c.BaseURL + path
+	for hop := 0; ; hop++ {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, url, reader)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect ||
+			resp.StatusCode == http.StatusPermanentRedirect {
+			loc := resp.Header.Get("Location")
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if loc == "" {
+				return fmt.Errorf("sdk: %s %s: redirect without Location", method, path)
+			}
+			if hop+1 >= maxRedirectHops {
+				return fmt.Errorf("sdk: %s %s: stopped after %d redirects", method, path, hop+1)
+			}
+			u, err := resp.Request.URL.Parse(loc)
+			if err != nil {
+				return fmt.Errorf("sdk: %s %s: bad redirect %q: %w", method, path, loc, err)
+			}
+			url = u.String()
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			return parseAPIError(method, path, resp.StatusCode, resp.Header, data)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(data, out)
 	}
-	if token != "" {
-		req.Header.Set("Authorization", "Bearer "+token)
-	}
-	resp, err := c.HTTPClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 400 {
-		return parseAPIError(method, path, resp.StatusCode, resp.Header, data)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(data, out)
 }
 
 // Submit starts an extraction job and returns its ID.
@@ -374,6 +413,14 @@ func (c *XtractClient) Metrics() (string, error) {
 func (c *XtractClient) TenantUsage(tenantID string) (api.TenantUsageResponse, error) {
 	var resp api.TenantUsageResponse
 	err := c.do(http.MethodGet, "/api/v1/tenants/"+url.PathEscape(tenantID)+"/usage", nil, &resp)
+	return resp, err
+}
+
+// Cluster reports the serving node's cluster membership and per-member
+// lease counts. Enabled is false on single-node deployments.
+func (c *XtractClient) Cluster() (api.ClusterResponse, error) {
+	var resp api.ClusterResponse
+	err := c.do(http.MethodGet, "/api/v1/cluster", nil, &resp)
 	return resp, err
 }
 

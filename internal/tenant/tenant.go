@@ -111,6 +111,24 @@ type Usage struct {
 	Throttled int64 `json:"throttled"`
 }
 
+// Add accumulates o into u — cross-node usage aggregation sums each
+// node's local bill into the tenant's global one.
+func (u *Usage) Add(o Usage) {
+	u.JobsStarted += o.JobsStarted
+	u.JobsCompleted += o.JobsCompleted
+	u.JobsFailed += o.JobsFailed
+	u.JobsCancelled += o.JobsCancelled
+	u.ActiveJobs += o.ActiveJobs
+	u.TasksDispatched += o.TasksDispatched
+	u.InFlightTasks += o.InFlightTasks
+	u.StepsProcessed += o.StepsProcessed
+	u.StepsFailed += o.StepsFailed
+	u.CacheHits += o.CacheHits
+	u.BytesStaged += o.BytesStaged
+	u.ExtractorSeconds += o.ExtractorSeconds
+	u.Throttled += o.Throttled
+}
+
 // Snapshot pairs a tenant's usage with its effective limits.
 type Snapshot struct {
 	Tenant string `json:"tenant"`
@@ -171,6 +189,11 @@ type Controller struct {
 	mu      sync.Mutex
 	tenants map[string]*state
 	waiters []*waiter
+	// peerActive, when set (cluster mode), reports a tenant's active
+	// jobs on every other node so MaxActiveJobs stays a global quota.
+	// It is called with c.mu dropped: the reporter takes peer
+	// controllers' locks.
+	peerActive func(id string) int
 	// inflight is the global task-slot count; vtime tracks the pass of
 	// the last grant so reactivating tenants cannot claim credit for
 	// time they spent idle.
@@ -264,6 +287,19 @@ func (t *state) refillLocked(now time.Time) {
 	t.lastFill = now
 }
 
+// SetPeerActive installs the cross-node active-job reporter (cluster
+// mode): AdmitJob adds its count to the local one so MaxActiveJobs is
+// enforced cluster-wide. The reporter must not call back into this
+// controller.
+func (c *Controller) SetPeerActive(fn func(id string) int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerActive = fn
+}
+
 // AdmitJob checks a job submission against the tenant's rate limit and
 // concurrent-job quota, reserving an active-job slot on success (the
 // reservation is consumed by the pump's JobStarted). Refusals are typed
@@ -273,6 +309,16 @@ func (c *Controller) AdmitJob(id string) error {
 		return nil
 	}
 	id = Normalize(id)
+	// Peer usage is gathered before taking c.mu: the reporter walks
+	// other nodes' controllers, and nesting their locks under ours would
+	// deadlock two nodes admitting concurrently.
+	peer := 0
+	c.mu.Lock()
+	peerFn := c.peerActive
+	c.mu.Unlock()
+	if peerFn != nil {
+		peer = peerFn(id)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t := c.stateLocked(id)
@@ -286,7 +332,7 @@ func (c *Controller) AdmitJob(id string) error {
 		c.obsThrottled.With(id, "rate").Inc()
 		return &QuotaError{Tenant: id, Reason: "rate", RetryAfter: retry}
 	}
-	if t.lim.MaxActiveJobs > 0 && t.active >= t.lim.MaxActiveJobs {
+	if t.lim.MaxActiveJobs > 0 && t.active+peer >= t.lim.MaxActiveJobs {
 		t.usage.Throttled++
 		c.obsThrottled.With(id, "jobs").Inc()
 		return &QuotaError{Tenant: id, Reason: "jobs", RetryAfter: time.Second}
