@@ -1,0 +1,177 @@
+// Command perf-gate enforces the committed benchmark trajectory: it
+// compares a PR's fresh xtract-bench JSON against the floors recorded in
+// BENCH_PUMP.json / BENCH_JOURNAL.json and exits non-zero when
+// throughput regressed by more than the tolerance. This is what turns
+// the BENCH_*.json files from souvenirs into a contract — a change that
+// slows the pump or the journal path fails CI instead of landing
+// silently.
+//
+//	perf-gate -pump-baseline BENCH_PUMP.json -pump fresh1.json,fresh2.json \
+//	          -journal-baseline BENCH_JOURNAL.json -journal freshj.json \
+//	          -tolerance 0.05
+//
+// Fresh files may be given as a comma-separated list; the best run is
+// compared (wall-clock benches are noisy, so CI runs each bench a few
+// times and the gate takes the max). The committed baselines carry an
+// explicit "gate" section with the floor figures; when it is absent the
+// gate falls back to the headline throughput fields.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// pumpBaseline is the subset of BENCH_PUMP.json the gate reads.
+type pumpBaseline struct {
+	Gate struct {
+		TasksPerSecFloor float64 `json:"tasks_per_sec_floor"`
+	} `json:"gate"`
+	EventDriven struct {
+		TasksPerSec float64 `json:"tasks_per_sec"`
+	} `json:"event_driven"`
+}
+
+// journalBaseline is the subset of BENCH_JOURNAL.json the gate reads.
+type journalBaseline struct {
+	Gate struct {
+		JournalTasksPerSecFloor float64 `json:"journal_tasks_per_sec_floor"`
+	} `json:"gate"`
+	JournalTasksPerSec float64 `json:"journal_tasks_per_sec"`
+}
+
+// freshRun is the subset of an xtract-bench -benchjson output the gate
+// reads; pump runs carry tasks_per_sec, journal runs journal_tasks_per_sec.
+type freshRun struct {
+	TasksPerSec        float64 `json:"tasks_per_sec"`
+	JournalTasksPerSec float64 `json:"journal_tasks_per_sec"`
+}
+
+func readJSON(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// bestFresh returns the maximum throughput across the comma-separated
+// fresh bench files, extracted by pick.
+func bestFresh(list string, pick func(freshRun) float64) (best float64, bestPath string, err error) {
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		var r freshRun
+		if err := readJSON(path, &r); err != nil {
+			return 0, "", err
+		}
+		v := pick(r)
+		if v <= 0 {
+			return 0, "", fmt.Errorf("%s: no throughput figure in bench JSON", path)
+		}
+		if v > best {
+			best, bestPath = v, path
+		}
+	}
+	if best == 0 {
+		return 0, "", fmt.Errorf("no fresh bench files in %q", list)
+	}
+	return best, bestPath, nil
+}
+
+// check compares one fresh figure against its committed floor under the
+// tolerance, returning a human-readable verdict line and pass/fail.
+func check(name string, fresh, floor, tolerance float64) (string, bool) {
+	limit := floor * (1 - tolerance)
+	verdict := "PASS"
+	ok := fresh >= limit
+	if !ok {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %s: %.1f tasks/s vs floor %.1f (tolerance %.0f%% -> limit %.1f)",
+		verdict, name, fresh, floor, tolerance*100, limit), ok
+}
+
+// run executes the gate; separated from main for the injected-slowdown
+// regression test. Returns the report lines and overall pass.
+func run(pumpBase, pumpFresh, journalBase, journalFresh string, tolerance float64) ([]string, bool) {
+	var lines []string
+	pass := true
+	checked := false
+
+	if pumpBase != "" && pumpFresh != "" {
+		var base pumpBaseline
+		if err := readJSON(pumpBase, &base); err != nil {
+			return append(lines, "ERROR "+err.Error()), false
+		}
+		floor := base.Gate.TasksPerSecFloor
+		if floor == 0 {
+			floor = base.EventDriven.TasksPerSec
+		}
+		if floor == 0 {
+			return append(lines, "ERROR "+pumpBase+": no pump floor figure"), false
+		}
+		fresh, path, err := bestFresh(pumpFresh, func(r freshRun) float64 { return r.TasksPerSec })
+		if err != nil {
+			return append(lines, "ERROR "+err.Error()), false
+		}
+		line, ok := check("pump ("+path+")", fresh, floor, tolerance)
+		lines = append(lines, line)
+		pass = pass && ok
+		checked = true
+	}
+
+	if journalBase != "" && journalFresh != "" {
+		var base journalBaseline
+		if err := readJSON(journalBase, &base); err != nil {
+			return append(lines, "ERROR "+err.Error()), false
+		}
+		floor := base.Gate.JournalTasksPerSecFloor
+		if floor == 0 {
+			floor = base.JournalTasksPerSec
+		}
+		if floor == 0 {
+			return append(lines, "ERROR "+journalBase+": no journal floor figure"), false
+		}
+		fresh, path, err := bestFresh(journalFresh, func(r freshRun) float64 { return r.JournalTasksPerSec })
+		if err != nil {
+			return append(lines, "ERROR "+err.Error()), false
+		}
+		line, ok := check("journal ("+path+")", fresh, floor, tolerance)
+		lines = append(lines, line)
+		pass = pass && ok
+		checked = true
+	}
+
+	if !checked {
+		return append(lines, "ERROR no baseline/fresh pair given"), false
+	}
+	return lines, pass
+}
+
+func main() {
+	pumpBase := flag.String("pump-baseline", "", "committed BENCH_PUMP.json")
+	pumpFresh := flag.String("pump", "", "fresh pump bench JSON (comma-separated list; best run wins)")
+	journalBase := flag.String("journal-baseline", "", "committed BENCH_JOURNAL.json")
+	journalFresh := flag.String("journal", "", "fresh journal bench JSON (comma-separated list; best run wins)")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional regression below the floor")
+	flag.Parse()
+
+	lines, pass := run(*pumpBase, *pumpFresh, *journalBase, *journalFresh, *tolerance)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !pass {
+		fmt.Println("perf-gate: throughput regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("perf-gate: ok")
+}

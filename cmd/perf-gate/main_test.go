@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name string, v interface{}) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fixture mirrors the committed baseline shapes: an explicit gate floor
+// plus the headline figures the gate falls back to.
+func fixture(t *testing.T, dir string, pumpFloor, journalFloor float64) (pumpBase, journalBase string) {
+	t.Helper()
+	pumpBase = writeJSON(t, dir, "BENCH_PUMP.json", map[string]interface{}{
+		"gate":         map[string]float64{"tasks_per_sec_floor": pumpFloor},
+		"event_driven": map[string]float64{"tasks_per_sec": pumpFloor * 1.2},
+	})
+	journalBase = writeJSON(t, dir, "BENCH_JOURNAL.json", map[string]interface{}{
+		"gate":                  map[string]float64{"journal_tasks_per_sec_floor": journalFloor},
+		"journal_tasks_per_sec": journalFloor * 1.1,
+	})
+	return
+}
+
+func TestGatePassesAtFloor(t *testing.T) {
+	dir := t.TempDir()
+	pumpBase, journalBase := fixture(t, dir, 10000, 11000)
+	pumpFresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 10000})
+	journalFresh := writeJSON(t, dir, "journal.json", map[string]float64{"journal_tasks_per_sec": 11000})
+
+	lines, pass := run(pumpBase, pumpFresh, journalBase, journalFresh, 0.05)
+	if !pass {
+		t.Fatalf("gate failed at exactly the floor:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance check: a 10%
+// slowdown against the committed floor must fail a 5%-tolerance gate.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	pumpBase, journalBase := fixture(t, dir, 10000, 11000)
+	// Inject a 10% regression on both figures.
+	pumpFresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 9000})
+	journalFresh := writeJSON(t, dir, "journal.json", map[string]float64{"journal_tasks_per_sec": 9900})
+
+	lines, pass := run(pumpBase, pumpFresh, journalBase, journalFresh, 0.05)
+	if pass {
+		t.Fatalf("gate passed a 10%% slowdown:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL pump") || !strings.Contains(joined, "FAIL journal") {
+		t.Fatalf("expected both FAIL verdicts, got:\n%s", joined)
+	}
+}
+
+func TestGateTakesBestOfMultipleRuns(t *testing.T) {
+	dir := t.TempDir()
+	pumpBase, _ := fixture(t, dir, 10000, 11000)
+	// One noisy slow run plus one healthy run: the gate keys on the best.
+	slow := writeJSON(t, dir, "pump1.json", map[string]float64{"tasks_per_sec": 7000})
+	good := writeJSON(t, dir, "pump2.json", map[string]float64{"tasks_per_sec": 10400})
+
+	lines, pass := run(pumpBase, slow+","+good, "", "", 0.05)
+	if !pass {
+		t.Fatalf("gate ignored the best run:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "pump2.json") {
+		t.Fatalf("verdict should name the best run, got:\n%s", lines[0])
+	}
+}
+
+func TestGateFallsBackToHeadlineFigures(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline without a gate section: headline event_driven figure is
+	// the floor.
+	pumpBase := writeJSON(t, dir, "BENCH_PUMP.json", map[string]interface{}{
+		"event_driven": map[string]float64{"tasks_per_sec": 10000},
+	})
+	fresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 9000})
+	_, pass := run(pumpBase, fresh, "", "", 0.05)
+	if pass {
+		t.Fatal("fallback floor not enforced")
+	}
+}
+
+func TestGateErrorsOnMissingInputs(t *testing.T) {
+	if _, pass := run("", "", "", "", 0.05); pass {
+		t.Fatal("empty invocation must fail")
+	}
+	dir := t.TempDir()
+	pumpBase, _ := fixture(t, dir, 10000, 11000)
+	if _, pass := run(pumpBase, filepath.Join(dir, "nope.json"), "", "", 0.05); pass {
+		t.Fatal("missing fresh file must fail")
+	}
+}

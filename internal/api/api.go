@@ -440,8 +440,15 @@ func (s *Server) EnableSearch(ix *index.Index, dest store.Store, destPrefix stri
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, scope string, h http.HandlerFunc) {
+		// Resolve the route's request counter once at registration; the
+		// fallback covers an observer attached after Handler() was built.
+		counter := s.obsHTTP.With(pattern)
 		counted := func(w http.ResponseWriter, r *http.Request) {
-			s.obsHTTP.With(pattern).Inc()
+			if counter != nil {
+				counter.Inc()
+			} else {
+				s.obsHTTP.With(pattern).Inc()
+			}
 			h(w, r)
 		}
 		if scope != "" {

@@ -304,6 +304,7 @@ func (d *dispatcher) submit() {
 			d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(r))
 			d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: err.Error(), refs: r})
 		}
+		d.recycle(reqs, refs, bufs, readyAt)
 		return
 	}
 	now := d.s.clk.Now()
@@ -315,6 +316,28 @@ func (d *dispatcher) submit() {
 	}
 	d.s.obsPipelineDepth.Add(float64(len(ids)))
 	d.s.cfg.FaaS.Notify(ids, d.comp)
+	d.recycle(reqs, refs, bufs, readyAt)
+}
+
+// recycle hands the accumulation slices' backing arrays back for the next
+// batch. Their elements escape submit (refs into d.out or shard events,
+// payloads into the buffer pool) but the outer arrays do not, so reusing
+// them removes four allocations per funcX batch. Elements are cleared so
+// the arrays don't pin dead payloads and refs until overwritten.
+func (d *dispatcher) recycle(reqs []faas.TaskRequest, refs [][]stepRef, bufs []*bytes.Buffer, readyAt []time.Time) {
+	for i := range reqs {
+		reqs[i] = faas.TaskRequest{}
+	}
+	for i := range refs {
+		refs[i] = nil
+	}
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	d.reqs = reqs[:0]
+	d.refs = refs[:0]
+	d.bufs = bufs[:0]
+	d.readyAt = readyAt[:0]
 }
 
 // terminal forwards one finished/lost task to the pump. The out-map

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -192,6 +193,30 @@ type pump struct {
 	deadLettered int64
 	wakeups      int64
 	idleWakeups  int64
+
+	// pendingResults accumulates finished-family validation records so
+	// one ResultQueue.SendBatch per pump cycle replaces a queue lock (and
+	// a wakeup signal) per family. The pooled encode buffers ride along
+	// and are released only after the batch send copies the bodies.
+	pendingResults [][]byte
+	pendingBufs    []*bytes.Buffer
+}
+
+// flushResults batch-sends the buffered validation records and returns
+// their encode buffers to the payload pool. Called once per pump cycle
+// and deferred for the error-return paths.
+func (p *pump) flushResults() {
+	if len(p.pendingResults) == 0 {
+		return
+	}
+	p.s.cfg.ResultQueue.SendBatch(p.pendingResults)
+	for i, b := range p.pendingBufs {
+		putPayloadBuf(b)
+		p.pendingResults[i] = nil
+		p.pendingBufs[i] = nil
+	}
+	p.pendingResults = p.pendingResults[:0]
+	p.pendingBufs = p.pendingBufs[:0]
 }
 
 // RunJob crawls the given repositories and orchestrates extraction until
@@ -352,6 +377,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		budget:   s.retry.JobBudget,
 	}
 	defer func() {
+		p.flushResults() // error paths must not strand buffered records
 		cancelJob()
 		p.shardWG.Wait()
 		if s.cfg.Cluster != nil {
@@ -439,12 +465,14 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 			}
 			progress = true
 		}
+		// One batch send covers every family finished this cycle.
+		p.flushResults()
 		// The job-start drain and crawl completions are work in themselves
 		// even when no step became actionable; anything else that woke the
 		// pump for nothing is counted as idle overhead.
 		if !progress && woke != "start" && woke != "crawl" {
 			p.idleWakeups++
-			s.obsPumpWakeups.With("idle").Inc()
+			s.wakeupCounter("idle").Inc()
 		}
 		// Termination: nothing crawling, no live or staging families, no
 		// retries pending, no shard events in flight, and the family queue
@@ -461,7 +489,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 			return JobStats{JobID: jobID}, err
 		}
 		p.wakeups++
-		s.obsPumpWakeups.With(woke).Inc()
+		s.wakeupCounter(woke).Inc()
 	}
 
 	elapsed := s.clk.Since(p.start)
@@ -488,7 +516,7 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		Type: journal.RecJobTerminal, JobID: jobID,
 		State: string(state), Err: errMsg,
 	})
-	s.obsJobs.With(string(state)).Inc()
+	s.jobStateCounter(state).Inc()
 	s.cfg.Tenants.JobOutcome(ten, string(state))
 	s.obs.Emitf(jobID, event, "families_failed=%d steps_dead_lettered=%d cache_hits=%d elapsed=%s",
 		p.failedFam, p.deadLettered, p.cacheHits, elapsed)
@@ -544,7 +572,7 @@ func (s *Service) failJob(jobID, ten string, err error) {
 	} else {
 		s.journalAppend(journal.Record{Type: journal.RecJobTerminal, JobID: jobID, State: string(state), Err: err.Error()})
 	}
-	s.obsJobs.With(string(state)).Inc()
+	s.jobStateCounter(state).Inc()
 	s.cfg.Tenants.JobOutcome(ten, string(state))
 	s.obs.Emit(jobID, event, err.Error())
 }
@@ -569,10 +597,11 @@ func (p *pump) intakeFamilies() bool {
 			return false
 		}
 	}
+	receipts := make([]string, 0, len(msgs))
 	for _, m := range msgs {
+		receipts = append(receipts, m.Receipt)
 		var fam family.Family
 		if err := json.Unmarshal(m.Body, &fam); err != nil {
-			_ = p.famQ.Delete(m.Receipt)
 			continue
 		}
 		p.s.obs.Emitf(p.jobID, obs.EvFamilyEnqueued, "family=%s groups=%d bytes=%d",
@@ -581,8 +610,8 @@ func (p *pump) intakeFamilies() bool {
 			Type: journal.RecFamilyEnqueued, FamilyID: fam.ID, Groups: len(fam.Groups),
 		})
 		p.placeFamily(fam)
-		_ = p.famQ.Delete(m.Receipt)
 	}
+	p.famQ.DeleteBatch(receipts) // one lock acquisition for the whole batch
 	return true
 }
 
@@ -728,7 +757,7 @@ func (p *pump) placeFamily(fam family.Family) {
 func (p *pump) failFamily(famID, reason string, attempts int) {
 	p.failedFam++
 	p.s.obsFamiliesFailed.Inc()
-	p.s.obsDeadLetters.With("family").Inc()
+	p.s.obsDeadLetterFam.Inc()
 	_ = p.s.cfg.Registry.UpdateJob(p.jobID, func(j *registry.JobRecord) {
 		j.AddDeadLetter(registry.DeadLetter{
 			Kind:     "family",
@@ -768,7 +797,7 @@ func (p *pump) retryOrDeadLetter(st *famState, step scheduler.Step, cause, detai
 			famID: st.fam.ID,
 			step:  step,
 		})
-		p.s.obsRetries.With(cause).Inc()
+		p.s.retryCounter(cause).Inc()
 		p.s.obsRetryBackoff.ObserveDuration(d)
 		p.s.obs.Emitf(p.jobID, obs.EvTaskRetried,
 			"family=%s group=%s extractor=%s attempt=%d backoff=%s cause=%s",
@@ -800,7 +829,7 @@ func (p *pump) deadLetterStep(st *famState, step scheduler.Step, attempts int, c
 	p.s.StepsFailed.Inc()
 	p.s.obsStepsFailed.Inc()
 	p.s.StepsDeadLettered.Inc()
-	p.s.obsDeadLetters.With("step").Inc()
+	p.s.obsDeadLetterStp.Inc()
 	_ = p.s.cfg.Registry.UpdateJob(p.jobID, func(j *registry.JobRecord) {
 		j.AddDeadLetter(registry.DeadLetter{
 			Kind:      "step",
@@ -840,7 +869,7 @@ func (p *pump) retryStagingOrFail(st *famState, cause string) {
 			famID:   st.fam.ID,
 			staging: true,
 		})
-		p.s.obsRetries.With("staging").Inc()
+		p.s.retryCounter("staging").Inc()
 		p.s.obsRetryBackoff.ObserveDuration(d)
 		p.s.obs.Emitf(p.jobID, obs.EvTaskRetried,
 			"family=%s staging attempt=%d backoff=%s cause=%s",
@@ -1048,10 +1077,11 @@ func (p *pump) intakeStaged() bool {
 		return false
 	}
 	progress := false
+	acks := make([]string, 0, len(msgs))
 	for _, m := range msgs {
 		var res transfer.PrefetchResult
 		if err := json.Unmarshal(m.Body, &res); err != nil {
-			_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
+			acks = append(acks, m.Receipt)
 			progress = true
 			continue
 		}
@@ -1076,8 +1106,9 @@ func (p *pump) intakeStaged() bool {
 		} else {
 			p.retryStagingOrFail(st, "staging failed: "+res.Err)
 		}
-		_ = p.s.cfg.PrefetchDone.Delete(m.Receipt)
+		acks = append(acks, m.Receipt)
 	}
+	p.s.cfg.PrefetchDone.DeleteBatch(acks)
 	if !progress {
 		p.prefetchGate = p.s.clk.After(2 * time.Millisecond)
 	}
@@ -1230,7 +1261,7 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 				p.s.obsGroupsProcessed.Inc()
 				p.s.Throughput.Record(p.s.clk.Since(p.start), 1)
 				p.s.StepDurations.Observe(step.Extractor, dur)
-				p.s.obsStepDuration.With(step.Extractor).ObserveDuration(dur)
+				p.s.stepDurationHist(step.Extractor).ObserveDuration(dur)
 				if st.staged {
 					p.s.TransferDurations.Observe(step.Extractor, st.xferDur)
 				}
@@ -1313,8 +1344,8 @@ func (p *pump) finishIfDone(st *famState) {
 		p.failFamily(st.fam.ID, "result marshal: "+err.Error(), 0)
 		return
 	}
-	p.s.cfg.ResultQueue.Send(body)
-	putPayloadBuf(buf) // Send copied the record
+	p.pendingResults = append(p.pendingResults, body)
+	p.pendingBufs = append(p.pendingBufs, buf)
 	p.familiesDone++
 	p.s.FamiliesDone.Inc()
 	p.s.obsFamiliesDone.Inc()

@@ -245,6 +245,19 @@ type Service struct {
 	obsRecoverySeconds  *obs.Histogram
 	obsClusterFenced    *obs.Counter
 
+	// Pre-resolved hot-path handles: the pump, dispatcher, and journal
+	// hook emit millions of events per run, so their known label values
+	// are resolved to series handles once at construction instead of
+	// re-resolving a *Vec.With per event. Unknown values (new extractors,
+	// future record types) fall back to With through the helpers below.
+	obsWakeupBy      map[string]*obs.Counter
+	obsRetryBy       map[string]*obs.Counter
+	obsJobStateBy    map[registry.JobState]*obs.Counter
+	obsJournalBy     map[string]*obs.Counter
+	obsDeadLetterFam *obs.Counter
+	obsDeadLetterStp *obs.Counter
+	obsStepDurBy     sync.Map // extractor name -> *obs.Histogram
+
 	// draining is set by BeginShutdown: job contexts are about to be
 	// cancelled for a restart, so the cancellations must not be journaled
 	// as user cancels (the jobs should resume on recovery).
@@ -346,16 +359,93 @@ func New(cfg Config) *Service {
 		"Wall time of the journal recovery pass (replay through resume).", nil)
 	s.obsClusterFenced = reg.Counter("xtract_cluster_fenced_appends_total",
 		"Journal appends dropped because this node's job lease was lost.")
+	s.obsWakeupBy = make(map[string]*obs.Counter)
+	for _, reason := range []string{
+		"start", "crawl", "families", "staged", "events", "retry", "idle",
+	} {
+		s.obsWakeupBy[reason] = s.obsPumpWakeups.With(reason)
+	}
+	s.obsRetryBy = make(map[string]*obs.Counter)
+	for _, cause := range []string{
+		"lost", "failed", "staging", "step_error", "bad_result", "no_function",
+	} {
+		s.obsRetryBy[cause] = s.obsRetries.With(cause)
+	}
+	s.obsJobStateBy = make(map[registry.JobState]*obs.Counter)
+	for _, st := range []registry.JobState{
+		registry.JobCrawling, registry.JobExtracting, registry.JobComplete,
+		registry.JobFailed, registry.JobCancelled,
+	} {
+		s.obsJobStateBy[st] = s.obsJobs.With(string(st))
+	}
+	s.obsJournalBy = make(map[string]*obs.Counter)
+	for _, typ := range []string{
+		journal.RecJobSubmitted, journal.RecFamilyEnqueued,
+		journal.RecStepCompleted, journal.RecStepRetried,
+		journal.RecStepDeadLettered, journal.RecFamilyFailed,
+		journal.RecJobCancelled, journal.RecJobTerminal,
+		journal.RecLeaseAcquired, journal.RecLeaseRenewed,
+		journal.RecLeaseReleased,
+	} {
+		s.obsJournalBy[typ] = s.obsJournalAppends.With(typ)
+	}
+	s.obsDeadLetterFam = s.obsDeadLetters.With("family")
+	s.obsDeadLetterStp = s.obsDeadLetters.With("step")
 	if cfg.Cache != nil {
 		cfg.Cache.SetEvictionHook(func() { s.obsCacheEvictions.Inc() })
 	}
 	if cfg.Journal != nil {
 		cfg.Journal.Observe(
-			func(recType string) { s.obsJournalAppends.With(recType).Inc() },
+			func(recType string) { s.journalAppendCounter(recType).Inc() },
 			func(d time.Duration) { s.obsJournalFsync.ObserveDuration(d) },
 		)
 	}
 	return s
+}
+
+// wakeupCounter returns the cached counter for a pump wakeup reason.
+func (s *Service) wakeupCounter(reason string) *obs.Counter {
+	if c, ok := s.obsWakeupBy[reason]; ok {
+		return c
+	}
+	return s.obsPumpWakeups.With(reason)
+}
+
+// retryCounter returns the cached counter for a retry cause.
+func (s *Service) retryCounter(cause string) *obs.Counter {
+	if c, ok := s.obsRetryBy[cause]; ok {
+		return c
+	}
+	return s.obsRetries.With(cause)
+}
+
+// jobStateCounter returns the cached counter for a job terminal state.
+func (s *Service) jobStateCounter(state registry.JobState) *obs.Counter {
+	if c, ok := s.obsJobStateBy[state]; ok {
+		return c
+	}
+	return s.obsJobs.With(string(state))
+}
+
+// journalAppendCounter returns the cached counter for a journal record
+// type. Runs on the journal append path (every durable transition).
+func (s *Service) journalAppendCounter(recType string) *obs.Counter {
+	if c, ok := s.obsJournalBy[recType]; ok {
+		return c
+	}
+	return s.obsJournalAppends.With(recType)
+}
+
+// stepDurationHist returns the cached per-extractor step-duration
+// histogram, resolving and caching it on first use (extractor names are
+// not known at construction time).
+func (s *Service) stepDurationHist(extractor string) *obs.Histogram {
+	if h, ok := s.obsStepDurBy.Load(extractor); ok {
+		return h.(*obs.Histogram)
+	}
+	h := s.obsStepDuration.With(extractor)
+	actual, _ := s.obsStepDurBy.LoadOrStore(extractor, h)
+	return actual.(*obs.Histogram)
 }
 
 // journalAppend writes one record to the configured journal. Nil-safe: a

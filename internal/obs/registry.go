@@ -5,6 +5,14 @@
 // for offline experiment analysis — obs metrics are fixed-size aggregates
 // safe to leave enabled on a live service under heavy traffic.
 //
+// The emission path is lock-free and allocation-free: series values are
+// atomics (float bits for counters and gauges, per-bucket atomic counts
+// for histograms), so a cached handle's Inc/Add/Set/Observe never takes a
+// mutex and never allocates. *Vec.With resolves a handle through a
+// sync.Map read (one small allocation for the label key), so hot call
+// sites cache the handle once and emit through it; the registry's own
+// mutex is touched only at family registration and exposition time.
+//
 // Every handle type is nil-safe: a nil *Registry hands out nil handles,
 // and every method on a nil handle is a no-op. Components therefore
 // instrument unconditionally and pay only a nil check when observability
@@ -14,10 +22,12 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,27 +81,46 @@ type metricFamily struct {
 	labels  []string
 	buckets []float64 // histograms only
 
-	mu     sync.Mutex
-	series map[string]*series
+	// series maps the joined label-value key to its *series. A sync.Map
+	// keeps the steady-state With lookup contention-free: new series are
+	// rare (label sets are low-cardinality by design), reads dominate.
+	series sync.Map
+
+	// funcMu guards the callback-backed series; they are registered once
+	// at startup and read only at exposition time.
+	funcMu sync.Mutex
 	funcs  []funcSeries
 }
 
 type funcSeries struct {
+	key    string // sorted-label identity, for dedup on re-registration
 	labels [][2]string
 	fn     func() float64
 }
 
-// series holds the state of one (metric, label values) time series.
+// series holds the state of one (metric, label values) time series. All
+// mutation is atomic: bits carries the float bits of a counter/gauge
+// value, counts/sumBits/count carry histogram state. A scrape may observe
+// a histogram whose count is ahead of its sum by an in-flight sample —
+// acceptable skew for fixed-size aggregates, and the price of keeping
+// Observe off any lock.
 type series struct {
 	values []string // label values, aligned with family.labels
 
-	mu    sync.Mutex
-	value float64 // counter / gauge
-	// histogram state: per-bucket increments (cumulated at exposition),
-	// plus sum and count.
-	counts []uint64
-	sum    float64
-	count  uint64
+	bits    atomic.Uint64   // counter / gauge (float bits)
+	counts  []atomic.Uint64 // histogram per-bucket increments
+	sumBits atomic.Uint64   // histogram sum (float bits)
+	count   atomic.Uint64   // histogram sample count
+}
+
+// addFloat adds v to an atomic float-bits cell with a CAS loop.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
 }
 
 // getFamily returns the named family, creating it on first use.
@@ -108,7 +137,6 @@ func (r *Registry) getFamily(name, help string, typ metricType, labels []string,
 			typ:     typ,
 			labels:  append([]string(nil), labels...),
 			buckets: append([]float64(nil), buckets...),
-			series:  make(map[string]*series),
 		}
 		r.families[name] = f
 		return f
@@ -140,17 +168,15 @@ func (f *metricFamily) getSeries(values []string) *series {
 			f.name, len(f.labels), len(values)))
 	}
 	key := strings.Join(values, "\xff")
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	s, ok := f.series[key]
-	if !ok {
-		s = &series{values: append([]string(nil), values...)}
-		if f.typ == typeHistogram {
-			s.counts = make([]uint64, len(f.buckets)+1)
-		}
-		f.series[key] = s
+	if s, ok := f.series.Load(key); ok {
+		return s.(*series)
 	}
-	return s
+	s := &series{values: append([]string(nil), values...)}
+	if f.typ == typeHistogram {
+		s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	actual, _ := f.series.LoadOrStore(key, s)
+	return actual.(*series)
 }
 
 // Counter returns the unlabeled counter registered under name.
@@ -192,6 +218,14 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 // be nil for an unlabeled series. Use this for live readings such as
 // queue depths, where sampling at scrape time beats pushing on every
 // mutation.
+//
+// Re-registering the same name with the same label set replaces the
+// callback instead of appending a duplicate series (duplicate exposition
+// lines are invalid Prometheus text format), so components re-created
+// across a recovery can re-Instrument safely. Labeled func series
+// deliberately coexist with the family's nil-label schema: the family is
+// registered with no label names, and each func series carries its own
+// fixed label pairs straight into the exposition line.
 func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
@@ -202,9 +236,23 @@ func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn fun
 		pairs = append(pairs, [2]string{k, v})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
-	f.mu.Lock()
-	f.funcs = append(f.funcs, funcSeries{labels: pairs, fn: fn})
-	f.mu.Unlock()
+	var sb strings.Builder
+	for _, p := range pairs {
+		sb.WriteString(p[0])
+		sb.WriteByte('\xff')
+		sb.WriteString(p[1])
+		sb.WriteByte('\xff')
+	}
+	key := sb.String()
+	f.funcMu.Lock()
+	defer f.funcMu.Unlock()
+	for i := range f.funcs {
+		if f.funcs[i].key == key {
+			f.funcs[i].fn = fn
+			return
+		}
+	}
+	f.funcs = append(f.funcs, funcSeries{key: key, labels: pairs, fn: fn})
 }
 
 // Histogram returns the unlabeled histogram registered under name.
@@ -234,7 +282,8 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	return &HistogramVec{f: r.getFamily(name, help, typeHistogram, labels, buckets)}
 }
 
-// Counter is a monotonically increasing metric handle.
+// Counter is a monotonically increasing metric handle. Cached handles
+// emit lock-free and allocation-free.
 type Counter struct{ s *series }
 
 // Add increments the counter by v; negative deltas are ignored.
@@ -242,9 +291,7 @@ func (c *Counter) Add(v float64) {
 	if c == nil || c.s == nil || v <= 0 {
 		return
 	}
-	c.s.mu.Lock()
-	c.s.value += v
-	c.s.mu.Unlock()
+	addFloat(&c.s.bits, v)
 }
 
 // Inc increments the counter by one.
@@ -255,15 +302,15 @@ func (c *Counter) Value() float64 {
 	if c == nil || c.s == nil {
 		return 0
 	}
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
-	return c.s.value
+	return math.Float64frombits(c.s.bits.Load())
 }
 
 // CounterVec hands out per-label-value counters.
 type CounterVec struct{ f *metricFamily }
 
-// With returns the counter for the given label values.
+// With returns the counter for the given label values. The lookup costs
+// a map read and a key allocation: hot paths resolve once and cache the
+// returned handle.
 func (v *CounterVec) With(values ...string) *Counter {
 	if v == nil || v.f == nil {
 		return nil
@@ -279,9 +326,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil || g.s == nil {
 		return
 	}
-	g.s.mu.Lock()
-	g.s.value = v
-	g.s.mu.Unlock()
+	g.s.bits.Store(math.Float64bits(v))
 }
 
 // Add shifts the gauge by v (which may be negative).
@@ -289,9 +334,7 @@ func (g *Gauge) Add(v float64) {
 	if g == nil || g.s == nil {
 		return
 	}
-	g.s.mu.Lock()
-	g.s.value += v
-	g.s.mu.Unlock()
+	addFloat(&g.s.bits, v)
 }
 
 // Inc increments the gauge by one.
@@ -305,15 +348,14 @@ func (g *Gauge) Value() float64 {
 	if g == nil || g.s == nil {
 		return 0
 	}
-	g.s.mu.Lock()
-	defer g.s.mu.Unlock()
-	return g.s.value
+	return math.Float64frombits(g.s.bits.Load())
 }
 
 // GaugeVec hands out per-label-value gauges.
 type GaugeVec struct{ f *metricFamily }
 
-// With returns the gauge for the given label values.
+// With returns the gauge for the given label values (see CounterVec.With
+// on caching).
 func (v *GaugeVec) With(values ...string) *Gauge {
 	if v == nil || v.f == nil {
 		return nil
@@ -333,11 +375,9 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	idx := sort.SearchFloat64s(h.f.buckets, v) // first bound >= v ("le")
-	h.s.mu.Lock()
-	h.s.counts[idx]++
-	h.s.sum += v
-	h.s.count++
-	h.s.mu.Unlock()
+	h.s.counts[idx].Add(1)
+	addFloat(&h.s.sumBits, v)
+	h.s.count.Add(1)
 }
 
 // ObserveDuration records a duration sample in seconds.
@@ -348,9 +388,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil || h.s == nil {
 		return 0
 	}
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	return h.s.count
+	return h.s.count.Load()
 }
 
 // Sum returns the sum of all observed samples (0 for a nil handle).
@@ -358,15 +396,14 @@ func (h *Histogram) Sum() float64 {
 	if h == nil || h.s == nil {
 		return 0
 	}
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	return h.s.sum
+	return math.Float64frombits(h.s.sumBits.Load())
 }
 
 // HistogramVec hands out per-label-value histograms.
 type HistogramVec struct{ f *metricFamily }
 
-// With returns the histogram for the given label values.
+// With returns the histogram for the given label values (see
+// CounterVec.With on caching).
 func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil || v.f == nil {
 		return nil
@@ -402,30 +439,35 @@ func (f *metricFamily) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
 	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
 
-	f.mu.Lock()
-	keys := make([]string, 0, len(f.series))
-	for k := range f.series {
-		keys = append(keys, k)
-	}
+	var keys []string
+	byKey := make(map[string]*series)
+	f.series.Range(func(k, v interface{}) bool {
+		keys = append(keys, k.(string))
+		byKey[k.(string)] = v.(*series)
+		return true
+	})
 	sort.Strings(keys)
-	ser := make([]*series, len(keys))
-	for i, k := range keys {
-		ser[i] = f.series[k]
-	}
+	f.funcMu.Lock()
 	funcs := append([]funcSeries(nil), f.funcs...)
-	f.mu.Unlock()
+	f.funcMu.Unlock()
 
-	for _, s := range ser {
+	for _, k := range keys {
+		s := byKey[k]
 		pairs := make([][2]string, len(f.labels))
 		for i, name := range f.labels {
 			pairs[i] = [2]string{name, s.values[i]}
 		}
 		switch f.typ {
 		case typeHistogram:
-			s.mu.Lock()
-			counts := append([]uint64(nil), s.counts...)
-			sum, count := s.sum, s.count
-			s.mu.Unlock()
+			// Atomic loads without a lock: bucket counts, sum, and count
+			// may be skewed by in-flight observations, which Prometheus
+			// scrape semantics tolerate.
+			counts := make([]uint64, len(s.counts))
+			for i := range s.counts {
+				counts[i] = s.counts[i].Load()
+			}
+			sum := math.Float64frombits(s.sumBits.Load())
+			count := s.count.Load()
 			var cum uint64
 			for i, bound := range f.buckets {
 				cum += counts[i]
@@ -440,9 +482,7 @@ func (f *metricFamily) write(w io.Writer) {
 			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(pairs), formatFloat(sum))
 			fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(pairs), count)
 		default:
-			s.mu.Lock()
-			v := s.value
-			s.mu.Unlock()
+			v := math.Float64frombits(s.bits.Load())
 			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(pairs), formatFloat(v))
 		}
 	}

@@ -7,7 +7,7 @@ package queue
 
 import (
 	"errors"
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,6 +63,13 @@ type Queue struct {
 	// ready carries coalesced wakeup tokens: one token is set (never
 	// more) whenever messages become visible. See Ready.
 	ready chan struct{}
+
+	// Expiry-timer state: a single goroutine (at most one live per
+	// generation) waits on clk.After for the earliest in-flight deadline
+	// so reclaim does not depend on a consumer happening to call a read
+	// op. timerGen invalidates stale waiters after re-arming.
+	timerGen      uint64
+	timerDeadline time.Time // zero when no timer is armed
 }
 
 // SetFaults installs (or clears, with nil) the queue's fault hook.
@@ -114,7 +121,7 @@ func (q *Queue) sendLocked(body []byte) string {
 	q.seq++
 	q.sent++
 	e := &entry{
-		id:         fmt.Sprintf("%s-%d", q.name, q.seq),
+		id:         q.name + "-" + strconv.FormatInt(q.seq, 10),
 		body:       append([]byte(nil), body...),
 		enqueuedAt: q.clk.Now(),
 	}
@@ -134,8 +141,50 @@ func (q *Queue) SendBatch(bodies [][]byte) []string {
 	return ids
 }
 
+// armExpiryLocked ensures a timer goroutine is waiting for the earliest
+// in-flight visibility deadline. Without it, reclaim would run only
+// inside read operations, and an expired message could sit undelivered
+// while the sole consumer is parked on Ready() — a liveness hole, since
+// the reclaim that would wake the consumer itself waits on the consumer.
+// The goroutine signals Ready via reclaimLocked when the deadline lapses
+// and re-arms for the next one. A timer armed for a deadline that was
+// Deleted or Nacked away simply fires, reclaims nothing, and re-arms; a
+// new earlier deadline (a Receive with a shorter visibility) re-arms with
+// a fresh generation, and stale generations return without touching
+// state.
+func (q *Queue) armExpiryLocked() {
+	if len(q.inflight) == 0 {
+		return
+	}
+	var earliest time.Time
+	for _, e := range q.inflight {
+		if earliest.IsZero() || e.expiresAt.Before(earliest) {
+			earliest = e.expiresAt
+		}
+	}
+	if !q.timerDeadline.IsZero() && !q.timerDeadline.After(earliest) {
+		return // already armed at (or before) the earliest deadline
+	}
+	q.timerGen++
+	q.timerDeadline = earliest
+	gen := q.timerGen
+	ch := q.clk.After(earliest.Sub(q.clk.Now()))
+	go func() {
+		<-ch
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.timerGen != gen {
+			return // superseded by a later arm
+		}
+		q.timerDeadline = time.Time{}
+		q.reclaimLocked() // signals Ready if anything expired
+		q.armExpiryLocked()
+	}()
+}
+
 // reclaimLocked moves expired in-flight messages back to the visible
-// queue. Called lazily from every read operation.
+// queue. Called lazily from every read operation and eagerly from the
+// expiry timer.
 func (q *Queue) reclaimLocked() {
 	if len(q.inflight) == 0 {
 		return
@@ -175,7 +224,11 @@ func (q *Queue) Receive(max int, visibility time.Duration) []Message {
 	}
 	// Consult the fault hook only for polls that would deliver, so every
 	// fired fault suppresses a real delivery (messages stay visible).
+	// Re-signal the wakeup token before returning empty: the consumer
+	// spent its coalesced Ready() token on this poll, and without a fresh
+	// token the still-visible messages would sit until an unrelated Send.
 	if q.faults != nil && q.faults.ReceiveFault(q.name) {
+		q.notifyLocked()
 		return nil
 	}
 	now := q.clk.Now()
@@ -186,12 +239,13 @@ func (q *Queue) Receive(max int, visibility time.Duration) []Message {
 		e.deliveries++
 		e.inflight = true
 		q.seq++
-		e.receipt = fmt.Sprintf("r-%s-%d", q.name, q.seq)
+		e.receipt = "r-" + q.name + "-" + strconv.FormatInt(q.seq, 10)
 		e.expiresAt = now.Add(visibility)
 		q.inflight[e.receipt] = e
 		out = append(out, Message{ID: e.id, Body: e.body, Receipt: e.receipt, Deliveries: e.deliveries})
 	}
 	q.visible = q.visible[n:]
+	q.armExpiryLocked()
 	return out
 }
 
@@ -206,6 +260,28 @@ func (q *Queue) Delete(receipt string) error {
 	delete(q.inflight, receipt)
 	q.deleted++
 	return nil
+}
+
+// DeleteBatch acknowledges several in-flight messages under one lock
+// acquisition and reports how many were known. Unknown receipts are
+// skipped (the at-least-once contract makes a double-delete harmless),
+// so callers batching acks after a partial failure need no bookkeeping.
+func (q *Queue) DeleteBatch(receipts []string) int {
+	if len(receipts) == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reclaimLocked()
+	n := 0
+	for _, r := range receipts {
+		if _, ok := q.inflight[r]; ok {
+			delete(q.inflight, r)
+			q.deleted++
+			n++
+		}
+	}
+	return n
 }
 
 // Nack returns an in-flight message to the visible queue immediately.

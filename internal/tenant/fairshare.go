@@ -33,8 +33,8 @@ func (c *Controller) AcquireTask(ctx context.Context, id string) (waited bool, e
 		t.inflight++
 		c.inflight++
 		t.usage.TasksDispatched++
-		c.obsTasks.With(id).Inc()
-		c.obsInflight.With(id).Set(float64(t.inflight))
+		t.mTasks.Inc()
+		t.mInflight.Set(float64(t.inflight))
 		c.mu.Unlock()
 		return false, nil
 	}
@@ -53,7 +53,7 @@ func (c *Controller) AcquireTask(ctx context.Context, id string) (waited bool, e
 		return false, nil
 	}
 	t.usage.Throttled++
-	c.obsThrottled.With(id, "fairshare").Inc()
+	t.mThrotFair.Inc()
 	c.mu.Unlock()
 
 	select {
@@ -101,7 +101,7 @@ func (c *Controller) releaseLocked(t *state, n int) {
 			c.inflight--
 		}
 	}
-	c.obsInflight.With(t.id).Set(float64(t.inflight))
+	t.mInflight.Set(float64(t.inflight))
 	c.pumpLocked()
 }
 
@@ -138,8 +138,8 @@ func (c *Controller) pumpLocked() {
 		}
 		t.pass += 1 / t.lim.weight()
 		t.usage.TasksDispatched++
-		c.obsTasks.With(t.id).Inc()
-		c.obsInflight.With(t.id).Set(float64(t.inflight))
+		t.mTasks.Inc()
+		t.mInflight.Set(float64(t.inflight))
 		close(best.ch)
 	}
 }

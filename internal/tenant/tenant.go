@@ -177,6 +177,22 @@ type state struct {
 	pass     float64
 
 	usage Usage
+
+	// Cached metric handles, resolved once per tenant instead of per
+	// event: AcquireTask/ReleaseTasks run on the dispatch hot path, so a
+	// *Vec.With per grant would re-resolve the label on every task. All
+	// obs handles are nil-safe, so these stay nil until Instrument.
+	mTasks     *obs.Counter
+	mInflight  *obs.Gauge
+	mActive    *obs.Gauge
+	mSteps     *obs.Counter
+	mStepsFail *obs.Counter
+	mCacheHits *obs.Counter
+	mBytes     *obs.Counter
+	mExtract   *obs.Counter
+	mThrotRate *obs.Counter
+	mThrotJobs *obs.Counter
+	mThrotFair *obs.Counter
 }
 
 // Controller enforces tenant quotas and fair-share admission. All
@@ -226,11 +242,15 @@ func NewController(cfg Config) *Controller {
 	}
 }
 
-// Instrument registers the xtract_tenant_* metric families on reg.
+// Instrument registers the xtract_tenant_* metric families on reg and
+// re-resolves the cached handles of any tenants seen before
+// instrumentation.
 func (c *Controller) Instrument(reg *obs.Registry) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.obsJobs = reg.CounterVec("xtract_tenant_jobs_total",
 		"Jobs by tenant and terminal state.", "tenant", "state")
 	c.obsActive = reg.GaugeVec("xtract_tenant_jobs_active",
@@ -251,6 +271,25 @@ func (c *Controller) Instrument(reg *obs.Registry) {
 		"Extractor execution seconds billed per tenant.", "tenant")
 	c.obsThrottled = reg.CounterVec("xtract_tenant_throttled_total",
 		"Admissions delayed or refused, by tenant and reason.", "tenant", "reason")
+	for _, t := range c.tenants {
+		c.resolveHandlesLocked(t)
+	}
+}
+
+// resolveHandlesLocked caches t's per-tenant metric handles so hot-path
+// accounting emits without a label lookup.
+func (c *Controller) resolveHandlesLocked(t *state) {
+	t.mTasks = c.obsTasks.With(t.id)
+	t.mInflight = c.obsInflight.With(t.id)
+	t.mActive = c.obsActive.With(t.id)
+	t.mSteps = c.obsSteps.With(t.id)
+	t.mStepsFail = c.obsStepsFail.With(t.id)
+	t.mCacheHits = c.obsCacheHits.With(t.id)
+	t.mBytes = c.obsBytes.With(t.id)
+	t.mExtract = c.obsExtract.With(t.id)
+	t.mThrotRate = c.obsThrottled.With(t.id, "rate")
+	t.mThrotJobs = c.obsThrottled.With(t.id, "jobs")
+	t.mThrotFair = c.obsThrottled.With(t.id, "fairshare")
 }
 
 // stateLocked returns (creating on first use) the tenant's state.
@@ -267,6 +306,7 @@ func (c *Controller) stateLocked(id string) *state {
 			tokens:   lim.burst(), // bucket starts full
 			lastFill: c.clk.Now(),
 		}
+		c.resolveHandlesLocked(t)
 		c.tenants[id] = t
 	}
 	return t
@@ -329,12 +369,12 @@ func (c *Controller) AdmitJob(id string) error {
 			retry = time.Second
 		}
 		t.usage.Throttled++
-		c.obsThrottled.With(id, "rate").Inc()
+		t.mThrotRate.Inc()
 		return &QuotaError{Tenant: id, Reason: "rate", RetryAfter: retry}
 	}
 	if t.lim.MaxActiveJobs > 0 && t.active+peer >= t.lim.MaxActiveJobs {
 		t.usage.Throttled++
-		c.obsThrottled.With(id, "jobs").Inc()
+		t.mThrotJobs.Inc()
 		return &QuotaError{Tenant: id, Reason: "jobs", RetryAfter: time.Second}
 	}
 	if t.lim.SubmitRate > 0 {
@@ -343,7 +383,7 @@ func (c *Controller) AdmitJob(id string) error {
 	t.active++
 	t.pendingStart++
 	t.usage.ActiveJobs = t.active
-	c.obsActive.With(id).Set(float64(t.active))
+	t.mActive.Set(float64(t.active))
 	return nil
 }
 
@@ -367,7 +407,7 @@ func (c *Controller) JobStarted(id string) {
 	}
 	t.usage.JobsStarted++
 	t.usage.ActiveJobs = t.active
-	c.obsActive.With(id).Set(float64(t.active))
+	t.mActive.Set(float64(t.active))
 }
 
 // JobEnded releases the active-job slot taken by JobStarted.
@@ -383,7 +423,7 @@ func (c *Controller) JobEnded(id string) {
 		t.active--
 	}
 	t.usage.ActiveJobs = t.active
-	c.obsActive.With(id).Set(float64(t.active))
+	t.mActive.Set(float64(t.active))
 }
 
 // JobOutcome records a job's terminal state ("COMPLETE", "FAILED",
@@ -418,14 +458,14 @@ func (c *Controller) StepDone(id string, dur time.Duration, cached bool) {
 	defer c.mu.Unlock()
 	t := c.stateLocked(id)
 	t.usage.StepsProcessed++
-	c.obsSteps.With(id).Inc()
+	t.mSteps.Inc()
 	if cached {
 		t.usage.CacheHits++
-		c.obsCacheHits.With(id).Inc()
+		t.mCacheHits.Inc()
 		return
 	}
 	t.usage.ExtractorSeconds += dur.Seconds()
-	c.obsExtract.With(id).Add(dur.Seconds())
+	t.mExtract.Add(dur.Seconds())
 }
 
 // StepFailed bills one dead-lettered step.
@@ -436,8 +476,9 @@ func (c *Controller) StepFailed(id string) {
 	id = Normalize(id)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stateLocked(id).usage.StepsFailed++
-	c.obsStepsFail.With(id).Inc()
+	t := c.stateLocked(id)
+	t.usage.StepsFailed++
+	t.mStepsFail.Inc()
 }
 
 // AddBytesStaged bills prefetcher transfer volume.
@@ -448,8 +489,9 @@ func (c *Controller) AddBytesStaged(id string, n int64) {
 	id = Normalize(id)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stateLocked(id).usage.BytesStaged += n
-	c.obsBytes.With(id).Add(float64(n))
+	t := c.stateLocked(id)
+	t.usage.BytesStaged += n
+	t.mBytes.Add(float64(n))
 }
 
 // UsageFor snapshots one tenant's usage; ok is false for a tenant the

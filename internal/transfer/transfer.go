@@ -139,6 +139,9 @@ type Fabric struct {
 	obsJobs       *obs.CounterVec
 	obsDuration   *obs.Histogram
 	obsFetchBytes *obs.Counter
+	// obsJobsBy pre-resolves the per-status outcome counters so the
+	// per-job terminal path skips the label lookup.
+	obsJobsBy map[Status]*obs.Counter
 }
 
 // Instrument registers the fabric's transfer metrics on the
@@ -154,6 +157,12 @@ func (f *Fabric) Instrument(reg *obs.Registry) {
 		"Files moved by completed transfer jobs.")
 	f.obsJobs = reg.CounterVec("xtract_transfer_jobs_total",
 		"Transfer jobs by terminal status.", "status")
+	f.obsJobsBy = map[Status]*obs.Counter{
+		StatusPending:   f.obsJobs.With(StatusPending.String()),
+		StatusActive:    f.obsJobs.With(StatusActive.String()),
+		StatusSucceeded: f.obsJobs.With(StatusSucceeded.String()),
+		StatusFailed:    f.obsJobs.With(StatusFailed.String()),
+	}
 	f.obsDuration = reg.Histogram("xtract_transfer_duration_seconds",
 		"End-to-end latency of transfer jobs.", nil)
 	f.obsFetchBytes = reg.Counter("xtract_transfer_fetch_bytes_total",
@@ -325,7 +334,11 @@ func (f *Fabric) observeTerminal(j *job) {
 	bytes, files := j.bytes, j.done
 	elapsed := j.finished.Sub(j.started)
 	j.mu.Unlock()
-	f.obsJobs.With(status.String()).Inc()
+	if c, ok := f.obsJobsBy[status]; ok {
+		c.Inc()
+	} else {
+		f.obsJobs.With(status.String()).Inc()
+	}
 	f.obsBytes.Add(float64(bytes))
 	f.obsFiles.Add(float64(files))
 	f.obsDuration.ObserveDuration(elapsed)

@@ -33,17 +33,22 @@ type Service struct {
 	Rejected  metrics.Counter
 
 	// Observability handles (nil-safe when Instrument is never called).
-	obsEvents  *obs.Tracer
-	obsRecords *obs.CounterVec
+	obsEvents    *obs.Tracer
+	obsRecords   *obs.CounterVec
+	obsRejected  *obs.Counter
+	obsValidated *obs.Counter
 }
 
 // Instrument wires the service to the observability layer: a records
-// counter labeled by result, and family_validated trace events on the
-// owning job's trace.
+// counter labeled by result (with both outcome series pre-resolved —
+// process runs once per record), and family_validated trace events on
+// the owning job's trace.
 func (s *Service) Instrument(o *obs.Observer) {
 	s.obsEvents = o.Tracer()
 	s.obsRecords = o.Reg().CounterVec("xtract_validate_records_total",
 		"Validation outcomes by result.", "result")
+	s.obsRejected = s.obsRecords.With("rejected")
+	s.obsValidated = s.obsRecords.With("validated")
 }
 
 // NewService wires a validation service.
@@ -102,23 +107,23 @@ func (s *Service) process(body []byte) {
 	var rec Record
 	if err := json.Unmarshal(body, &rec); err != nil {
 		s.Rejected.Inc()
-		s.obsRecords.With("rejected").Inc()
+		s.obsRejected.Inc()
 		return
 	}
 	doc, err := s.Validator.Validate(rec)
 	if err != nil {
 		s.Rejected.Inc()
-		s.obsRecords.With("rejected").Inc()
+		s.obsRejected.Inc()
 		return
 	}
 	path := fmt.Sprintf("%s/%s.json", s.DestPrefix, sanitize(rec.FamilyID))
 	if err := s.Dest.Write(path, doc); err != nil {
 		s.Rejected.Inc()
-		s.obsRecords.With("rejected").Inc()
+		s.obsRejected.Inc()
 		return
 	}
 	s.Validated.Inc()
-	s.obsRecords.With("validated").Inc()
+	s.obsValidated.Inc()
 	s.obsEvents.Emitf(rec.JobID, obs.EvFamilyValidated, "family=%s doc=%s", rec.FamilyID, path)
 }
 
