@@ -1,19 +1,24 @@
 // Command perf-gate enforces the committed benchmark trajectory: it
-// compares a PR's fresh xtract-bench JSON against the floors recorded in
-// BENCH_PUMP.json / BENCH_JOURNAL.json and exits non-zero when
-// throughput regressed by more than the tolerance. This is what turns
-// the BENCH_*.json files from souvenirs into a contract — a change that
-// slows the pump or the journal path fails CI instead of landing
-// silently.
+// compares a PR's fresh xtract-bench JSON against the floors and
+// ceilings recorded in BENCH_PUMP.json / BENCH_JOURNAL.json /
+// BENCH_SCALE.json and exits non-zero when throughput regressed — or
+// allocations per task grew — by more than the tolerance. This is what
+// turns the BENCH_*.json files from souvenirs into a contract — a
+// change that slows the pump, the journal path, or the multi-pump
+// aggregate, or that re-introduces per-task allocations, fails CI
+// instead of landing silently.
 //
 //	perf-gate -pump-baseline BENCH_PUMP.json -pump fresh1.json,fresh2.json \
 //	          -journal-baseline BENCH_JOURNAL.json -journal freshj.json \
+//	          -scale-baseline BENCH_SCALE.json -scale freshs.json \
 //	          -tolerance 0.05
 //
 // Fresh files may be given as a comma-separated list; the best run is
 // compared (wall-clock benches are noisy, so CI runs each bench a few
-// times and the gate takes the max). The committed baselines carry an
-// explicit "gate" section with the floor figures; when it is absent the
+// times and the gate takes the max for floors and the min for
+// ceilings). The committed baselines carry an explicit "gate" section
+// with the floor/ceiling figures and may pin a per-bench "tolerance"
+// that overrides the global flag; when the gate section is absent the
 // gate falls back to the headline throughput fields.
 package main
 
@@ -25,29 +30,38 @@ import (
 	"strings"
 )
 
-// pumpBaseline is the subset of BENCH_PUMP.json the gate reads.
-type pumpBaseline struct {
-	Gate struct {
-		TasksPerSecFloor float64 `json:"tasks_per_sec_floor"`
-	} `json:"gate"`
+// gateBlock is the enforced contract inside a committed baseline. Only
+// the fields relevant to that bench are set; a per-bench tolerance, when
+// present, overrides the global -tolerance flag for every check the
+// block drives.
+type gateBlock struct {
+	TasksPerSecFloor          float64  `json:"tasks_per_sec_floor"`
+	JournalTasksPerSecFloor   float64  `json:"journal_tasks_per_sec_floor"`
+	AggregateTasksPerSecFloor float64  `json:"aggregate_tasks_per_sec_floor"`
+	AllocsPerTaskCeiling      float64  `json:"allocs_per_task_ceiling"`
+	Tolerance                 *float64 `json:"tolerance"`
+}
+
+// baseline is the subset of a committed BENCH_*.json the gate reads:
+// the gate block plus the headline figures used as fallback floors.
+type baseline struct {
+	Gate        gateBlock `json:"gate"`
 	EventDriven struct {
 		TasksPerSec float64 `json:"tasks_per_sec"`
 	} `json:"event_driven"`
-}
-
-// journalBaseline is the subset of BENCH_JOURNAL.json the gate reads.
-type journalBaseline struct {
-	Gate struct {
-		JournalTasksPerSecFloor float64 `json:"journal_tasks_per_sec_floor"`
-	} `json:"gate"`
-	JournalTasksPerSec float64 `json:"journal_tasks_per_sec"`
+	JournalTasksPerSec   float64 `json:"journal_tasks_per_sec"`
+	AggregateTasksPerSec float64 `json:"aggregate_tasks_per_sec"`
 }
 
 // freshRun is the subset of an xtract-bench -benchjson output the gate
-// reads; pump runs carry tasks_per_sec, journal runs journal_tasks_per_sec.
+// reads; pump runs carry tasks_per_sec and allocs_per_task, journal
+// runs journal_tasks_per_sec, scale runs aggregate_tasks_per_sec and
+// allocs_per_task.
 type freshRun struct {
-	TasksPerSec        float64 `json:"tasks_per_sec"`
-	JournalTasksPerSec float64 `json:"journal_tasks_per_sec"`
+	TasksPerSec          float64 `json:"tasks_per_sec"`
+	JournalTasksPerSec   float64 `json:"journal_tasks_per_sec"`
+	AggregateTasksPerSec float64 `json:"aggregate_tasks_per_sec"`
+	AllocsPerTask        float64 `json:"allocs_per_task"`
 }
 
 func readJSON(path string, v interface{}) error {
@@ -87,9 +101,38 @@ func bestFresh(list string, pick func(freshRun) float64) (best float64, bestPath
 	return best, bestPath, nil
 }
 
-// check compares one fresh figure against its committed floor under the
-// tolerance, returning a human-readable verdict line and pass/fail.
-func check(name string, fresh, floor, tolerance float64) (string, bool) {
+// leastFresh returns the minimum figure across the comma-separated
+// fresh bench files. Ceilings key on the best (lowest) run for the same
+// reason floors key on the fastest: GC and scheduler timing make any
+// single run noisy upward, never downward.
+func leastFresh(list string, pick func(freshRun) float64) (least float64, leastPath string, err error) {
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		var r freshRun
+		if err := readJSON(path, &r); err != nil {
+			return 0, "", err
+		}
+		v := pick(r)
+		if v <= 0 {
+			continue
+		}
+		if leastPath == "" || v < least {
+			least, leastPath = v, path
+		}
+	}
+	if leastPath == "" {
+		return 0, "", fmt.Errorf("no allocs_per_task figure in any of %q", list)
+	}
+	return least, leastPath, nil
+}
+
+// checkFloor compares one fresh figure against its committed floor
+// under the tolerance, returning a human-readable verdict line and
+// pass/fail.
+func checkFloor(name string, fresh, floor, tolerance float64) (string, bool) {
 	limit := floor * (1 - tolerance)
 	verdict := "PASS"
 	ok := fresh >= limit
@@ -100,55 +143,113 @@ func check(name string, fresh, floor, tolerance float64) (string, bool) {
 		verdict, name, fresh, floor, tolerance*100, limit), ok
 }
 
-// run executes the gate; separated from main for the injected-slowdown
-// regression test. Returns the report lines and overall pass.
-func run(pumpBase, pumpFresh, journalBase, journalFresh string, tolerance float64) ([]string, bool) {
-	var lines []string
-	pass := true
-	checked := false
+// checkCeiling is the inverse direction: the fresh figure must stay at
+// or below the committed ceiling, inflated by the tolerance.
+func checkCeiling(name string, fresh, ceiling, tolerance float64) (string, bool) {
+	limit := ceiling * (1 + tolerance)
+	verdict := "PASS"
+	ok := fresh <= limit
+	if !ok {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %s: %.1f vs ceiling %.1f (tolerance %.0f%% -> limit %.1f)",
+		verdict, name, fresh, ceiling, tolerance*100, limit), ok
+}
 
-	if pumpBase != "" && pumpFresh != "" {
-		var base pumpBaseline
-		if err := readJSON(pumpBase, &base); err != nil {
-			return append(lines, "ERROR "+err.Error()), false
-		}
-		floor := base.Gate.TasksPerSecFloor
-		if floor == 0 {
-			floor = base.EventDriven.TasksPerSec
-		}
-		if floor == 0 {
-			return append(lines, "ERROR "+pumpBase+": no pump floor figure"), false
-		}
-		fresh, path, err := bestFresh(pumpFresh, func(r freshRun) float64 { return r.TasksPerSec })
+// tolFor resolves the tolerance for one bench: the baseline's gate
+// block may pin its own, otherwise the global flag applies.
+func tolFor(g gateBlock, global float64) float64 {
+	if g.Tolerance != nil {
+		return *g.Tolerance
+	}
+	return global
+}
+
+// gateOne runs one bench's checks: the throughput floor, plus an
+// allocations-per-task ceiling when the baseline pins one.
+func gateOne(name, basePath, freshList string, floorOf func(baseline) float64,
+	throughputOf func(freshRun) float64, global float64) ([]string, bool) {
+	var base baseline
+	if err := readJSON(basePath, &base); err != nil {
+		return []string{"ERROR " + err.Error()}, false
+	}
+	floor := floorOf(base)
+	if floor == 0 {
+		return []string{"ERROR " + basePath + ": no " + name + " floor figure"}, false
+	}
+	tol := tolFor(base.Gate, global)
+	fresh, path, err := bestFresh(freshList, throughputOf)
+	if err != nil {
+		return []string{"ERROR " + err.Error()}, false
+	}
+	line, ok := checkFloor(name+" ("+path+")", fresh, floor, tol)
+	lines := []string{line}
+	pass := ok
+	if ceiling := base.Gate.AllocsPerTaskCeiling; ceiling > 0 {
+		least, lpath, err := leastFresh(freshList, func(r freshRun) float64 { return r.AllocsPerTask })
 		if err != nil {
 			return append(lines, "ERROR "+err.Error()), false
 		}
-		line, ok := check("pump ("+path+")", fresh, floor, tolerance)
-		lines = append(lines, line)
+		cline, cok := checkCeiling(name+" allocs/task ("+lpath+")", least, ceiling, tol)
+		lines = append(lines, cline)
+		pass = pass && cok
+	}
+	return lines, pass
+}
+
+// inputs collects the gate's file arguments; each baseline/fresh pair
+// is optional but at least one must be given.
+type inputs struct {
+	PumpBase, PumpFresh       string
+	JournalBase, JournalFresh string
+	ScaleBase, ScaleFresh     string
+	Tolerance                 float64
+}
+
+// run executes the gate; separated from main for the injected-slowdown
+// and injected-allocation regression tests. Returns the report lines
+// and overall pass.
+func run(in inputs) ([]string, bool) {
+	var lines []string
+	pass := true
+	checked := false
+	add := func(ls []string, ok bool) {
+		lines = append(lines, ls...)
 		pass = pass && ok
 		checked = true
 	}
 
-	if journalBase != "" && journalFresh != "" {
-		var base journalBaseline
-		if err := readJSON(journalBase, &base); err != nil {
-			return append(lines, "ERROR "+err.Error()), false
-		}
-		floor := base.Gate.JournalTasksPerSecFloor
-		if floor == 0 {
-			floor = base.JournalTasksPerSec
-		}
-		if floor == 0 {
-			return append(lines, "ERROR "+journalBase+": no journal floor figure"), false
-		}
-		fresh, path, err := bestFresh(journalFresh, func(r freshRun) float64 { return r.JournalTasksPerSec })
-		if err != nil {
-			return append(lines, "ERROR "+err.Error()), false
-		}
-		line, ok := check("journal ("+path+")", fresh, floor, tolerance)
-		lines = append(lines, line)
-		pass = pass && ok
-		checked = true
+	if in.PumpBase != "" && in.PumpFresh != "" {
+		add(gateOne("pump", in.PumpBase, in.PumpFresh,
+			func(b baseline) float64 {
+				if b.Gate.TasksPerSecFloor != 0 {
+					return b.Gate.TasksPerSecFloor
+				}
+				return b.EventDriven.TasksPerSec
+			},
+			func(r freshRun) float64 { return r.TasksPerSec }, in.Tolerance))
+	}
+
+	if in.JournalBase != "" && in.JournalFresh != "" {
+		add(gateOne("journal", in.JournalBase, in.JournalFresh,
+			func(b baseline) float64 {
+				if b.Gate.JournalTasksPerSecFloor != 0 {
+					return b.Gate.JournalTasksPerSecFloor
+				}
+				return b.JournalTasksPerSec
+			},
+			func(r freshRun) float64 { return r.JournalTasksPerSec }, in.Tolerance))
+	}
+
+	if in.ScaleBase != "" && in.ScaleFresh != "" {
+		add(gateOne("scale", in.ScaleBase, in.ScaleFresh,
+			func(b baseline) float64 {
+				if b.Gate.AggregateTasksPerSecFloor != 0 {
+					return b.Gate.AggregateTasksPerSecFloor
+				}
+				return b.AggregateTasksPerSec
+			},
+			func(r freshRun) float64 { return r.AggregateTasksPerSec }, in.Tolerance))
 	}
 
 	if !checked {
@@ -162,15 +263,22 @@ func main() {
 	pumpFresh := flag.String("pump", "", "fresh pump bench JSON (comma-separated list; best run wins)")
 	journalBase := flag.String("journal-baseline", "", "committed BENCH_JOURNAL.json")
 	journalFresh := flag.String("journal", "", "fresh journal bench JSON (comma-separated list; best run wins)")
-	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional regression below the floor")
+	scaleBase := flag.String("scale-baseline", "", "committed BENCH_SCALE.json")
+	scaleFresh := flag.String("scale", "", "fresh scale bench JSON (comma-separated list; best run wins)")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional drift past a floor or ceiling (per-bench gate tolerance overrides)")
 	flag.Parse()
 
-	lines, pass := run(*pumpBase, *pumpFresh, *journalBase, *journalFresh, *tolerance)
+	lines, pass := run(inputs{
+		PumpBase: *pumpBase, PumpFresh: *pumpFresh,
+		JournalBase: *journalBase, JournalFresh: *journalFresh,
+		ScaleBase: *scaleBase, ScaleFresh: *scaleFresh,
+		Tolerance: *tolerance,
+	})
 	for _, l := range lines {
 		fmt.Println(l)
 	}
 	if !pass {
-		fmt.Println("perf-gate: throughput regression detected")
+		fmt.Println("perf-gate: regression detected")
 		os.Exit(1)
 	}
 	fmt.Println("perf-gate: ok")

@@ -42,7 +42,8 @@ func TestGatePassesAtFloor(t *testing.T) {
 	pumpFresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 10000})
 	journalFresh := writeJSON(t, dir, "journal.json", map[string]float64{"journal_tasks_per_sec": 11000})
 
-	lines, pass := run(pumpBase, pumpFresh, journalBase, journalFresh, 0.05)
+	lines, pass := run(inputs{PumpBase: pumpBase, PumpFresh: pumpFresh,
+		JournalBase: journalBase, JournalFresh: journalFresh, Tolerance: 0.05})
 	if !pass {
 		t.Fatalf("gate failed at exactly the floor:\n%s", strings.Join(lines, "\n"))
 	}
@@ -57,7 +58,8 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 	pumpFresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 9000})
 	journalFresh := writeJSON(t, dir, "journal.json", map[string]float64{"journal_tasks_per_sec": 9900})
 
-	lines, pass := run(pumpBase, pumpFresh, journalBase, journalFresh, 0.05)
+	lines, pass := run(inputs{PumpBase: pumpBase, PumpFresh: pumpFresh,
+		JournalBase: journalBase, JournalFresh: journalFresh, Tolerance: 0.05})
 	if pass {
 		t.Fatalf("gate passed a 10%% slowdown:\n%s", strings.Join(lines, "\n"))
 	}
@@ -74,7 +76,7 @@ func TestGateTakesBestOfMultipleRuns(t *testing.T) {
 	slow := writeJSON(t, dir, "pump1.json", map[string]float64{"tasks_per_sec": 7000})
 	good := writeJSON(t, dir, "pump2.json", map[string]float64{"tasks_per_sec": 10400})
 
-	lines, pass := run(pumpBase, slow+","+good, "", "", 0.05)
+	lines, pass := run(inputs{PumpBase: pumpBase, PumpFresh: slow + "," + good, Tolerance: 0.05})
 	if !pass {
 		t.Fatalf("gate ignored the best run:\n%s", strings.Join(lines, "\n"))
 	}
@@ -91,19 +93,153 @@ func TestGateFallsBackToHeadlineFigures(t *testing.T) {
 		"event_driven": map[string]float64{"tasks_per_sec": 10000},
 	})
 	fresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 9000})
-	_, pass := run(pumpBase, fresh, "", "", 0.05)
+	_, pass := run(inputs{PumpBase: pumpBase, PumpFresh: fresh, Tolerance: 0.05})
 	if pass {
 		t.Fatal("fallback floor not enforced")
 	}
 }
 
 func TestGateErrorsOnMissingInputs(t *testing.T) {
-	if _, pass := run("", "", "", "", 0.05); pass {
+	if _, pass := run(inputs{Tolerance: 0.05}); pass {
 		t.Fatal("empty invocation must fail")
 	}
 	dir := t.TempDir()
 	pumpBase, _ := fixture(t, dir, 10000, 11000)
-	if _, pass := run(pumpBase, filepath.Join(dir, "nope.json"), "", "", 0.05); pass {
+	if _, pass := run(inputs{PumpBase: pumpBase,
+		PumpFresh: filepath.Join(dir, "nope.json"), Tolerance: 0.05}); pass {
 		t.Fatal("missing fresh file must fail")
+	}
+}
+
+// allocFixture is a pump baseline that pins an allocations ceiling
+// alongside the throughput floor.
+func allocFixture(t *testing.T, dir string, floor, ceiling float64) string {
+	t.Helper()
+	return writeJSON(t, dir, "BENCH_PUMP.json", map[string]interface{}{
+		"gate": map[string]float64{
+			"tasks_per_sec_floor":     floor,
+			"allocs_per_task_ceiling": ceiling,
+		},
+	})
+}
+
+// TestGateFailsOnInjectedAllocation is the other acceptance direction:
+// a run whose allocs/task exceeds the committed ceiling (as an
+// accidentally re-introduced per-task allocation would) must fail even
+// though throughput is fine.
+func TestGateFailsOnInjectedAllocation(t *testing.T) {
+	dir := t.TempDir()
+	base := allocFixture(t, dir, 10000, 150)
+	fresh := writeJSON(t, dir, "pump.json", map[string]float64{
+		"tasks_per_sec": 12000, "allocs_per_task": 190})
+
+	lines, pass := run(inputs{PumpBase: base, PumpFresh: fresh, Tolerance: 0.05})
+	if pass {
+		t.Fatalf("gate passed a blown allocs ceiling:\n%s", strings.Join(lines, "\n"))
+	}
+	if joined := strings.Join(lines, "\n"); !strings.Contains(joined, "FAIL pump allocs/task") {
+		t.Fatalf("expected an allocs FAIL verdict, got:\n%s", joined)
+	}
+}
+
+func TestGatePassesAtAllocsCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := allocFixture(t, dir, 10000, 150)
+	fresh := writeJSON(t, dir, "pump.json", map[string]float64{
+		"tasks_per_sec": 10000, "allocs_per_task": 150})
+
+	lines, pass := run(inputs{PumpBase: base, PumpFresh: fresh, Tolerance: 0.05})
+	if !pass {
+		t.Fatalf("gate failed at exactly the ceiling:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestGateCeilingTakesLeastOfRuns mirrors best-of-N for floors: a noisy
+// high-allocation run must not fail the gate when another run is clean.
+func TestGateCeilingTakesLeastOfRuns(t *testing.T) {
+	dir := t.TempDir()
+	base := allocFixture(t, dir, 10000, 150)
+	noisy := writeJSON(t, dir, "pump1.json", map[string]float64{
+		"tasks_per_sec": 10500, "allocs_per_task": 400})
+	clean := writeJSON(t, dir, "pump2.json", map[string]float64{
+		"tasks_per_sec": 10200, "allocs_per_task": 140})
+
+	lines, pass := run(inputs{PumpBase: base, PumpFresh: noisy + "," + clean, Tolerance: 0.05})
+	if !pass {
+		t.Fatalf("gate keyed on the noisy run's allocations:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) < 2 || !strings.Contains(lines[1], "allocs/task") ||
+		!strings.Contains(lines[1], "pump2.json") {
+		t.Fatalf("ceiling verdict should name the least-allocating run, got:\n%s",
+			strings.Join(lines, "\n"))
+	}
+}
+
+func TestGateErrorsWhenCeilingSetButNoAllocsFigure(t *testing.T) {
+	dir := t.TempDir()
+	base := allocFixture(t, dir, 10000, 150)
+	fresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 10000})
+	if _, pass := run(inputs{PumpBase: base, PumpFresh: fresh, Tolerance: 0.05}); pass {
+		t.Fatal("ceiling with no fresh allocs figure must fail, not silently pass")
+	}
+}
+
+// TestGatePerBenchToleranceOverridesGlobal covers both directions of
+// the override: a loose per-bench tolerance rescues a run the strict
+// global would fail, and a strict per-bench tolerance fails a run the
+// loose global would pass.
+func TestGatePerBenchToleranceOverridesGlobal(t *testing.T) {
+	dir := t.TempDir()
+	loose := writeJSON(t, dir, "loose.json", map[string]interface{}{
+		"gate": map[string]float64{"tasks_per_sec_floor": 10000, "tolerance": 0.5},
+	})
+	strict := writeJSON(t, dir, "strict.json", map[string]interface{}{
+		"gate": map[string]float64{"tasks_per_sec_floor": 10000, "tolerance": 0},
+	})
+	fresh := writeJSON(t, dir, "pump.json", map[string]float64{"tasks_per_sec": 9000})
+
+	if lines, pass := run(inputs{PumpBase: loose, PumpFresh: fresh, Tolerance: 0}); !pass {
+		t.Fatalf("per-bench 50%% tolerance did not override the 0%% global:\n%s",
+			strings.Join(lines, "\n"))
+	}
+	if lines, pass := run(inputs{PumpBase: strict, PumpFresh: fresh, Tolerance: 0.5}); pass {
+		t.Fatalf("per-bench 0%% tolerance did not override the 50%% global:\n%s",
+			strings.Join(lines, "\n"))
+	}
+}
+
+// TestGateScaleFloor exercises the third baseline/fresh pair: the
+// multi-pump aggregate throughput floor from BENCH_SCALE.json.
+func TestGateScaleFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "BENCH_SCALE.json", map[string]interface{}{
+		"gate": map[string]float64{
+			"aggregate_tasks_per_sec_floor": 12000,
+			"allocs_per_task_ceiling":       200,
+		},
+		"aggregate_tasks_per_sec": 14000,
+	})
+	good := writeJSON(t, dir, "scale_good.json", map[string]float64{
+		"aggregate_tasks_per_sec": 13000, "allocs_per_task": 150})
+	slow := writeJSON(t, dir, "scale_slow.json", map[string]float64{
+		"aggregate_tasks_per_sec": 9000, "allocs_per_task": 150})
+
+	if lines, pass := run(inputs{ScaleBase: base, ScaleFresh: good, Tolerance: 0.05}); !pass {
+		t.Fatalf("scale gate failed a healthy run:\n%s", strings.Join(lines, "\n"))
+	}
+	lines, pass := run(inputs{ScaleBase: base, ScaleFresh: slow, Tolerance: 0.05})
+	if pass {
+		t.Fatalf("scale gate passed a 25%% aggregate regression:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL scale") {
+		t.Fatalf("expected a scale FAIL verdict, got:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// Fallback: no gate section, headline aggregate figure is the floor.
+	bare := writeJSON(t, dir, "BENCH_SCALE_bare.json", map[string]interface{}{
+		"aggregate_tasks_per_sec": 14000,
+	})
+	if _, pass := run(inputs{ScaleBase: bare, ScaleFresh: slow, Tolerance: 0.05}); pass {
+		t.Fatal("scale fallback floor not enforced")
 	}
 }

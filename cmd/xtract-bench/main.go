@@ -5,6 +5,10 @@
 //	xtract-bench                 # everything
 //	xtract-bench -only fig2,tab2 # a subset
 //	xtract-bench -quick          # reduced workload sizes for smoke runs
+//
+// Profiling a benchmark (see README "Profiling the benchmarks"):
+//
+//	xtract-bench -only pump -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -12,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,11 +26,50 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workload sizes")
-	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump,journal")
+	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump,journal,scale")
 	seed := flag.Int64("seed", 42, "random seed")
-	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache, pump, or journal) as JSON to this file")
+	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache, pump, journal, or scale) as JSON to this file")
+	pumps := flag.Int("pumps", 4, "maximum concurrent job pumps for the scale scenario")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the selected runs) to this file")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's data series as CSV into this directory")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Printf("cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Printf("cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Explicit stop before every exit path below would be fragile;
+		// instead the scenarios exit through os.Exit only on failure, so
+		// the profile is stopped (and the file closed) right after the
+		// selected runs complete at the bottom of main.
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Printf("memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Printf("memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		_ = f.Close()
+	}()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -75,6 +120,48 @@ func main() {
 	}
 	if run("journal") {
 		journalOverhead(*quick, *seed, *benchJSON)
+	}
+	if run("scale") {
+		pumpScaling(*quick, *seed, *pumps, *benchJSON)
+	}
+}
+
+func pumpScaling(quick bool, seed int64, pumps int, jsonPath string) {
+	header("Pump scaling: aggregate throughput vs concurrent job pumps")
+	families := 300
+	if quick {
+		families = 75
+	}
+	res, err := experiments.PumpScaling(families, pumps, seed)
+	if err != nil {
+		fmt.Printf("scale experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pipeline: %s  families/pump: %d  GOMAXPROCS: %d\n",
+		res.Pipeline, res.FamiliesPerPump, res.GOMAXPROCS)
+	var rows [][]string
+	for _, pt := range res.Points {
+		fmt.Printf("  %2d pump(s): %6d steps in %7.1f ms  aggregate %8.0f tasks/s  (%7.0f/pump, %.2fx, %.0f allocs/task)\n",
+			pt.Pumps, pt.Steps, float64(pt.Elapsed)/float64(time.Millisecond),
+			pt.AggregateTasksPerSec, pt.PerPumpTasksPerSec, pt.Speedup, pt.AllocsPerTask)
+		rows = append(rows, []string{d(pt.Pumps), d(int(pt.Steps)),
+			f(float64(pt.Elapsed) / float64(time.Millisecond)),
+			f(pt.AggregateTasksPerSec), f(pt.PerPumpTasksPerSec),
+			f(pt.Speedup), f(pt.AllocsPerTask)})
+	}
+	writeCSV("pump_scaling",
+		[]string{"pumps", "steps", "elapsed_ms", "aggregate_tasks_per_sec", "per_pump_tasks_per_sec", "speedup", "allocs_per_task"},
+		rows)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Printf("benchjson write failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"xtract/internal/fastjson"
 	"xtract/internal/store"
 )
 
@@ -177,9 +178,11 @@ func (c *Cache) Get(k Key) (map[string]interface{}, bool) {
 		body := el.Value.(*memEntry).body
 		c.hits++
 		c.mu.Unlock()
-		var md map[string]interface{}
-		if json.Unmarshal(body, &md) != nil {
-			// Unreachable in practice: body was produced by json.Marshal.
+		v, err := fastjson.DecodeValue(body)
+		md, ok := v.(map[string]interface{})
+		if err != nil || !ok {
+			// Unreachable in practice: body was produced by the encoder
+			// from a non-nil map.
 			return nil, false
 		}
 		return md, true
@@ -206,7 +209,7 @@ func (c *Cache) Get(k Key) (map[string]interface{}, bool) {
 		c.mu.Unlock()
 		return nil, false
 	}
-	body, err := json.Marshal(ent.Metadata)
+	body, err := fastjson.AppendValue(nil, ent.Metadata)
 	if err != nil {
 		c.miss()
 		return nil, false
@@ -232,7 +235,7 @@ func (c *Cache) Put(k Key, metadata map[string]interface{}) {
 	if c == nil || metadata == nil {
 		return
 	}
-	body, err := json.Marshal(metadata)
+	body, err := fastjson.AppendValue(nil, metadata)
 	if err != nil {
 		return
 	}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"sync"
 	"time"
 
@@ -98,27 +96,6 @@ func (k *shardEventSink) pending() int {
 	return len(k.evs)
 }
 
-// payloadBufPool recycles JSON encode buffers for task payloads,
-// validation records, and other hot-path marshals. Safe because every
-// consumer the pooled bytes are handed to (faas.SubmitBatch, queue.Send)
-// copies them before returning.
-var payloadBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
-
-// marshalPooled encodes v into a pooled buffer. The returned bytes alias
-// the buffer: pass them only to copying consumers, then release with
-// putPayloadBuf.
-func marshalPooled(v interface{}) ([]byte, *bytes.Buffer, error) {
-	buf := payloadBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		payloadBufPool.Put(buf)
-		return nil, nil, err
-	}
-	return buf.Bytes(), buf, nil
-}
-
-func putPayloadBuf(b *bytes.Buffer) { payloadBufPool.Put(b) }
-
 // dispatcher is one per-site dispatch shard. All fields below feed are
 // shard-local: only the shard goroutine touches them, so batching needs
 // no locks and shards share nothing but the event sink.
@@ -137,7 +114,7 @@ type dispatcher struct {
 	buckets map[string][]dispatchItem // extractor -> pending steps
 	reqs    []faas.TaskRequest
 	refs    [][]stepRef
-	bufs    []*bytes.Buffer
+	bufs    []*[]byte
 	readyAt []time.Time // earliest readyAt per pending request
 	out     map[string][]stepRef
 }
@@ -268,17 +245,15 @@ func (d *dispatcher) makeTask(extractor string) {
 		d.sink.push(shardEvent{failed: true, cause: "no_function", detail: err.Error(), refs: refs})
 		return
 	}
-	payload, buf, merr := marshalPooled(taskPayload{
+	tp := taskPayload{
 		Extractor:  extractor,
 		Site:       d.site.Name,
 		Steps:      steps,
 		Checkpoint: d.s.cfg.Checkpoint,
-	})
-	if merr != nil {
-		d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(refs))
-		d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: merr.Error(), refs: refs})
-		return
 	}
+	buf := getPayloadBuf()
+	*buf = encodeTaskPayload(*buf, &tp)
+	payload := *buf
 	ep := ""
 	if cep := d.site.ComputeEndpoint(); cep != nil {
 		ep = cep.ID
@@ -324,7 +299,7 @@ func (d *dispatcher) submit() {
 // payloads into the buffer pool) but the outer arrays do not, so reusing
 // them removes four allocations per funcX batch. Elements are cleared so
 // the arrays don't pin dead payloads and refs until overwritten.
-func (d *dispatcher) recycle(reqs []faas.TaskRequest, refs [][]stepRef, bufs []*bytes.Buffer, readyAt []time.Time) {
+func (d *dispatcher) recycle(reqs []faas.TaskRequest, refs [][]stepRef, bufs []*[]byte, readyAt []time.Time) {
 	for i := range reqs {
 		reqs[i] = faas.TaskRequest{}
 	}

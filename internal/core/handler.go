@@ -2,12 +2,12 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sort"
 
 	"xtract/internal/extractors"
 	"xtract/internal/family"
+	"xtract/internal/fastjson"
 	"xtract/internal/store"
 )
 
@@ -82,7 +82,7 @@ func sanitizePath(id string) string {
 func (s *Service) makeHandler(site *Site, ext extractors.Extractor) func(context.Context, []byte) ([]byte, error) {
 	return func(ctx context.Context, payload []byte) ([]byte, error) {
 		var task taskPayload
-		if err := json.Unmarshal(payload, &task); err != nil {
+		if err := decodeTaskPayload(payload, &task); err != nil {
 			return nil, fmt.Errorf("core: bad task payload: %w", err)
 		}
 		result := taskResult{Extractor: task.Extractor}
@@ -94,7 +94,10 @@ func (s *Service) makeHandler(site *Site, ext extractors.Extractor) func(context
 			}
 			result.Outcomes = append(result.Outcomes, s.runStep(site, ext, task, step))
 		}
-		return json.Marshal(result)
+		// The result buffer cannot be pooled: the fabric retains it in the
+		// task record until the pump consumes it, so it is allocated once,
+		// sized for the batch.
+		return encodeTaskResult(make([]byte, 0, 64+96*len(result.Outcomes)), &result)
 	}
 }
 
@@ -116,12 +119,16 @@ func (s *Service) runStep(site *Site, ext extractors.Extractor, task taskPayload
 	cpPath := checkpointPath(step.FamilyID, step.GroupID, task.Extractor)
 	if task.Checkpoint {
 		if data, err := site.Store.Read(cpPath); err == nil {
-			var md map[string]interface{}
-			if json.Unmarshal(data, &md) == nil {
-				out.OK = true
-				out.Metadata = md
-				out.FromCheckpoint = true
-				return out
+			// A checkpoint file holds one JSON object (or null, for an
+			// extractor that returned no metadata); anything else is
+			// corrupt and falls through to re-extraction.
+			if v, derr := fastjson.DecodeValue(data); derr == nil {
+				if md, ok := v.(map[string]interface{}); ok || v == nil {
+					out.OK = true
+					out.Metadata = md
+					out.FromCheckpoint = true
+					return out
+				}
 			}
 		}
 	}
@@ -166,7 +173,7 @@ func (s *Service) runStep(site *Site, ext extractors.Extractor, task taskPayload
 	out.Metadata = md
 
 	if task.Checkpoint {
-		if data, err := json.Marshal(md); err == nil {
+		if data, err := fastjson.AppendValue(nil, md); err == nil {
 			// Flush each processed group's metadata to disk on completion
 			// (the paper's 'checkpoint-flag').
 			_ = site.Store.Write(cpPath, data)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -199,7 +198,7 @@ type pump struct {
 	// a wakeup signal) per family. The pooled encode buffers ride along
 	// and are released only after the batch send copies the bodies.
 	pendingResults [][]byte
-	pendingBufs    []*bytes.Buffer
+	pendingBufs    []*[]byte
 }
 
 // flushResults batch-sends the buffered validation records and returns
@@ -648,11 +647,20 @@ func (p *pump) journalStepCompleted(famID string, step scheduler.Step,
 	if cacheable {
 		rec.CacheKey = &journal.CacheKey{ContentHash: key.ContentHash, Version: key.Version}
 	}
-	if blob, err := json.Marshal(md); err == nil {
-		rec.Metadata = blob
+	// Defer metadata serialization to the journal's flush leader: the
+	// record carries the live map (never mutated after step completion)
+	// and the group-commit encoder renders it off the pump's hot path.
+	if md != nil {
+		rec.MetadataObj = md
+	} else {
+		rec.Metadata = nullJSON
 	}
 	p.journal(rec)
 }
+
+// nullJSON preserves the pre-deferred-encode journal bytes for nil
+// metadata (json.Marshal(nil map) == null).
+var nullJSON = []byte("null")
 
 // placeFamily runs the placement policy and routes the family either
 // straight to dispatch or through the prefetcher.
@@ -742,7 +750,7 @@ func (p *pump) placeFamily(fam family.Family) {
 		Dst:      target.TransferID,
 		Pairs:    pairs,
 	}
-	body, _ := json.Marshal(task)
+	body := transfer.AppendPrefetchTask(nil, &task)
 	st.prefetchBody = body
 	st.stageAttempts = 1
 	p.s.cfg.PrefetchQueue.Send(body)
@@ -1080,7 +1088,7 @@ func (p *pump) intakeStaged() bool {
 	acks := make([]string, 0, len(msgs))
 	for _, m := range msgs {
 		var res transfer.PrefetchResult
-		if err := json.Unmarshal(m.Body, &res); err != nil {
+		if err := transfer.DecodePrefetchResult(m.Body, &res); err != nil {
 			acks = append(acks, m.Receipt)
 			progress = true
 			continue
@@ -1219,7 +1227,7 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 	switch info.Status {
 	case faas.TaskSuccess:
 		var result taskResult
-		if err := json.Unmarshal(info.Result, &result); err != nil {
+		if err := decodeTaskResult(info.Result, &result); err != nil {
 			for _, r := range refs {
 				if st, ok := p.states[r.famID]; ok {
 					p.retryOrDeadLetter(st, r.step, "bad_result", err.Error())
@@ -1337,10 +1345,13 @@ func (p *pump) finishIfDone(st *famState) {
 		Metadata:  st.results,
 		Extracted: st.steps,
 	}
-	body, buf, err := marshalPooled(rec)
+	buf := getPayloadBuf()
+	body, err := validate.AppendRecord(*buf, &rec)
+	*buf = body
 	if err != nil {
 		// Unserializable metadata must not vanish silently: surface it
 		// through the dead-letter path and fail the family.
+		putPayloadBuf(buf)
 		p.failFamily(st.fam.ID, "result marshal: "+err.Error(), 0)
 		return
 	}

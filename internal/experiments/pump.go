@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"xtract/internal/clock"
@@ -39,6 +40,12 @@ type PumpRun struct {
 	IdleWakeups        int64   `json:"pump_idle_wakeups"`
 	WakeupsPerTask     float64 `json:"wakeups_per_task"`
 	IdleWakeupsPerTask float64 `json:"idle_wakeups_per_task"`
+	// AllocsPerTask is the heap-allocation count (runtime.MemStats.Mallocs
+	// delta across the job, every goroutine included) divided by completed
+	// steps — the perf-gate's enforced ceiling. It covers the whole
+	// lifecycle: crawl, dispatch encode, journal, completion decode, and
+	// result emission.
+	AllocsPerTask float64 `json:"allocs_per_task"`
 }
 
 // noopExtractor applies to every file and returns constant metadata
@@ -117,9 +124,12 @@ func runPump(familiesPerSite, nSites int, seed int64, jnl *journal.Journal) (Pum
 		}
 	}
 
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	stats, err := d.Service.RunJob(context.Background(), repos)
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&memAfter)
 	if err != nil {
 		return PumpRun{}, err
 	}
@@ -142,6 +152,7 @@ func runPump(familiesPerSite, nSites int, seed int64, jnl *journal.Journal) (Pum
 	if stats.StepsProcessed > 0 {
 		run.WakeupsPerTask = float64(stats.PumpWakeups) / float64(stats.StepsProcessed)
 		run.IdleWakeupsPerTask = float64(stats.PumpIdleWakeups) / float64(stats.StepsProcessed)
+		run.AllocsPerTask = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(stats.StepsProcessed)
 	}
 	return run, nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"xtract/internal/clock"
+	"xtract/internal/fastjson"
 	"xtract/internal/store"
 )
 
@@ -102,8 +103,14 @@ type Record struct {
 	Cached    bool            `json:"cached,omitempty"`
 	CacheKey  *CacheKey       `json:"cache_key,omitempty"`
 	Metadata  json.RawMessage `json:"metadata,omitempty"`
-	Attempt   int             `json:"attempt,omitempty"`
-	Reason    string          `json:"reason,omitempty"`
+	// MetadataObj defers metadata encoding to the group-commit flush
+	// leader: the accept path stores the live map (zero allocation) and
+	// the leader serializes it off the caller's critical path. The map
+	// must never be mutated after the record is handed to Append. Exactly
+	// one of Metadata / MetadataObj is set.
+	MetadataObj map[string]interface{} `json:"-"`
+	Attempt     int                    `json:"attempt,omitempty"`
+	Reason      string                 `json:"reason,omitempty"`
 	// job_terminal
 	State string `json:"state,omitempty"`
 	Err   string `json:"err,omitempty"`
@@ -134,20 +141,11 @@ const frameHeader = 8
 // prefix cannot allocate absurdly.
 const maxRecordBytes = 16 << 20
 
-// appendJSONString appends s as a JSON string literal. The fast path
-// covers the common case (printable ASCII without quotes or
-// backslashes); anything else delegates to encoding/json for correct
-// escaping and UTF-8 handling.
+// appendJSONString appends s as a JSON string literal, byte-compatible
+// with encoding/json (fastjson pins the equivalence), without the
+// json.Marshal allocation the slow path used to pay.
 func appendJSONString(b []byte, s string) []byte {
-	for i := 0; i < len(s); i++ {
-		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
-			blob, _ := json.Marshal(s)
-			return append(b, blob...)
-		}
-	}
-	b = append(b, '"')
-	b = append(b, s...)
-	return append(b, '"')
+	return fastjson.AppendString(b, s)
 }
 
 // appendRecordJSON appends rec's JSON encoding to b: the hot-path
@@ -203,6 +201,24 @@ func appendRecordJSON(b []byte, rec *Record) ([]byte, error) {
 	if len(rec.Metadata) != 0 {
 		b = append(b, `,"metadata":`...)
 		b = append(b, rec.Metadata...)
+	} else if rec.MetadataObj != nil {
+		// Deferred encode: the accept path stored the live map and the
+		// flush leader materializes it here. An unencodable value drops
+		// the field silently — parity with the old accept-side
+		// `if blob, err := json.Marshal(md); err == nil` behavior.
+		mark := len(b)
+		const prefix = `,"metadata":`
+		b = append(b, prefix...)
+		if nb, err := fastjson.AppendValue(b, rec.MetadataObj); err == nil {
+			// Materialize the raw form on the record too: the leader folds
+			// the encoded batch into live state, and state consumers
+			// (compaction snapshots, JobSnapshot) read the Metadata bytes.
+			// Must be a copy — b is the leader's reused encode buffer.
+			rec.Metadata = append(json.RawMessage(nil), nb[mark+len(prefix):]...)
+			b = nb
+		} else {
+			b = b[:mark]
+		}
 	}
 	if rec.Attempt != 0 {
 		b = append(b, `,"attempt":`...)

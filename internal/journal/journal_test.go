@@ -616,3 +616,95 @@ func TestRecordEncoderMatchesEncodingJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordEncoderDeferredMetadata pins the MetadataObj path: a record
+// carrying the live map must encode byte-identical to the same record
+// carrying pre-marshaled Metadata bytes, the leader must materialize the
+// raw form onto the record (live state and compaction snapshots read
+// it), and an unencodable map must drop the field silently — the same
+// outcome as the old accept-side `if err == nil` marshal.
+func TestRecordEncoderDeferredMetadata(t *testing.T) {
+	at := time.Date(2026, 8, 5, 12, 34, 56, 789123456, time.UTC)
+	mds := []map[string]interface{}{
+		{},
+		{"score": 0.5, "terms": []interface{}{"a", "b"}},
+		{"näme<&>": map[string]interface{}{"deep": nil, "n": float64(-3)}},
+	}
+	for i, md := range mds {
+		deferred := Record{Seq: 9, Type: RecStepCompleted, JobID: "j", At: at,
+			FamilyID: "f", GroupID: "g", Extractor: "x", MetadataObj: md}
+		blob, err := json.Marshal(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager := deferred
+		eager.MetadataObj = nil
+		eager.Metadata = blob
+
+		got, err := appendRecordJSON(nil, &deferred)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want, err := appendRecordJSON(nil, &eager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d divergence:\ndeferred: %s\neager:    %s", i, got, want)
+		}
+		// The encoder materializes the raw bytes onto the record so the
+		// leader's state fold (and with it compaction snapshots and
+		// JobSnapshot) sees the same Metadata replay would decode.
+		if !bytes.Equal(deferred.Metadata, blob) {
+			t.Errorf("case %d: materialized Metadata = %s, want %s",
+				i, deferred.Metadata, blob)
+		}
+	}
+
+	// Unencodable metadata: drop the field, keep the record.
+	bad := Record{Seq: 10, Type: RecStepCompleted, JobID: "j", At: at,
+		FamilyID: "f", GroupID: "g", Extractor: "x",
+		MetadataObj: map[string]interface{}{"v": make(chan int)}}
+	none := bad
+	none.MetadataObj = nil
+	got, err := appendRecordJSON(nil, &bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := appendRecordJSON(nil, &none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("bad metadata should drop the field:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestDeferredMetadataVisibleInSnapshot drives a real writer end to end:
+// a step completed with MetadataObj must surface its metadata bytes in
+// JobSnapshot after the flush, not just on disk.
+func TestDeferredMetadataVisibleInSnapshot(t *testing.T) {
+	j := mustOpen(t, memDir(t), Options{})
+	defer j.Close()
+	if err := j.Append(Record{Type: RecJobSubmitted, JobID: "job-1",
+		Spec: &JobSpec{}}); err != nil {
+		t.Fatal(err)
+	}
+	md := map[string]interface{}{"rows": float64(3), "label": "ok"}
+	if err := j.Append(Record{Type: RecStepCompleted, JobID: "job-1",
+		FamilyID: "f", GroupID: "g", Extractor: "x", MetadataObj: md}); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := j.JobSnapshot("job-1")
+	if !ok {
+		t.Fatal("job missing from snapshot")
+	}
+	step, ok := snap.Steps[StepKey("f", "g", "x")]
+	if !ok {
+		t.Fatal("step missing from snapshot")
+	}
+	want, _ := json.Marshal(md)
+	if !bytes.Equal(step.Metadata, want) {
+		t.Fatalf("snapshot metadata = %s, want %s", step.Metadata, want)
+	}
+}

@@ -2,7 +2,6 @@ package transfer
 
 import (
 	"context"
-	"encoding/json"
 	"sync"
 	"time"
 
@@ -121,7 +120,7 @@ func (p *Prefetcher) processBatch(ctx context.Context, msgs []queue.Message) {
 	routes := make(map[[2]string]*routed)
 	for _, m := range msgs {
 		var t PrefetchTask
-		if err := json.Unmarshal(m.Body, &t); err != nil {
+		if err := DecodePrefetchTask(m.Body, &t); err != nil {
 			// Poison message: drop it.
 			_ = p.in.Delete(m.Receipt)
 			continue
@@ -184,8 +183,7 @@ func (p *Prefetcher) runRoute(ctx context.Context, src, dst string, tasks []Pref
 		} else {
 			p.TasksFailed.Inc()
 		}
-		body, _ := json.Marshal(res)
-		p.out.Send(body)
+		p.out.Send(AppendPrefetchResult(nil, &res))
 		_ = p.in.Delete(receipts[i])
 	}
 	if err == nil {

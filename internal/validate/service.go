@@ -2,7 +2,6 @@ package validate
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"time"
 
@@ -105,7 +104,7 @@ func (s *Service) Drain() {
 
 func (s *Service) process(body []byte) {
 	var rec Record
-	if err := json.Unmarshal(body, &rec); err != nil {
+	if err := DecodeRecord(body, &rec); err != nil {
 		s.Rejected.Inc()
 		s.obsRejected.Inc()
 		return

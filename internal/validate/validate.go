@@ -6,12 +6,13 @@
 package validate
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
+
+	"xtract/internal/fastjson"
 )
 
 // Record is the raw metadata produced for one family, as handed to the
@@ -61,20 +62,30 @@ type Passthrough struct{}
 // Name implements Validator.
 func (Passthrough) Name() string { return "passthrough" }
 
-// Validate implements Validator.
+// Validate implements Validator. The document is built by direct
+// appends in the map's sorted-key order, byte-identical to the
+// json.Marshal(map) form it replaces (pinned by codec_test.go).
 func (Passthrough) Validate(rec Record) ([]byte, error) {
 	if rec.FamilyID == "" {
 		return nil, fmt.Errorf("%w: missing family_id", ErrInvalid)
 	}
-	doc := map[string]interface{}{
-		"schema":   "passthrough/v1",
-		"family":   rec.FamilyID,
-		"store":    rec.Store,
-		"path":     rec.BasePath,
-		"files":    rec.Files,
-		"metadata": rec.Metadata,
+	dst := make([]byte, 0, 256)
+	dst = append(dst, `{"family":`...)
+	dst = fastjson.AppendString(dst, rec.FamilyID)
+	dst = append(dst, `,"files":`...)
+	var err error
+	if dst, err = fastjson.AppendValue(dst, rec.Files); err != nil {
+		return nil, err
 	}
-	return json.Marshal(doc)
+	dst = append(dst, `,"metadata":`...)
+	if dst, err = fastjson.AppendValue(dst, rec.Metadata); err != nil {
+		return nil, err
+	}
+	dst = append(dst, `,"path":`...)
+	dst = fastjson.AppendString(dst, rec.BasePath)
+	dst = append(dst, `,"schema":"passthrough/v1","store":`...)
+	dst = fastjson.AppendString(dst, rec.Store)
+	return append(dst, '}'), nil
 }
 
 // MDFSchema describes one of the MDF target schemas: required metadata
@@ -161,17 +172,32 @@ func (m *MDF) Validate(rec Record) ([]byte, error) {
 		ranList = append(ranList, e)
 	}
 	sort.Strings(ranList)
-	doc := map[string]interface{}{
-		"mdf": map[string]interface{}{
-			"source_name":   m.SourceName,
-			"resource_type": "record",
-			"schema":        schema.Name,
-			"scroll_id":     rec.FamilyID,
-		},
-		"files":      rec.Files,
-		"origin":     map[string]string{"store": rec.Store, "path": rec.BasePath},
-		"extractors": ranList,
-		"metadata":   rec.Metadata,
+	// Direct appends in the sorted-key order of the map form this
+	// replaces, byte-identical to json.Marshal of that map (pinned by
+	// codec_test.go). Both nesting levels keep their keys sorted.
+	dst := make([]byte, 0, 384)
+	dst = append(dst, `{"extractors":`...)
+	var aerr error
+	if dst, aerr = fastjson.AppendValue(dst, ranList); aerr != nil {
+		return nil, aerr
 	}
-	return json.Marshal(doc)
+	dst = append(dst, `,"files":`...)
+	if dst, aerr = fastjson.AppendValue(dst, rec.Files); aerr != nil {
+		return nil, aerr
+	}
+	dst = append(dst, `,"mdf":{"resource_type":"record","schema":`...)
+	dst = fastjson.AppendString(dst, schema.Name)
+	dst = append(dst, `,"scroll_id":`...)
+	dst = fastjson.AppendString(dst, rec.FamilyID)
+	dst = append(dst, `,"source_name":`...)
+	dst = fastjson.AppendString(dst, m.SourceName)
+	dst = append(dst, `},"metadata":`...)
+	if dst, aerr = fastjson.AppendValue(dst, rec.Metadata); aerr != nil {
+		return nil, aerr
+	}
+	dst = append(dst, `,"origin":{"path":`...)
+	dst = fastjson.AppendString(dst, rec.BasePath)
+	dst = append(dst, `,"store":`...)
+	dst = fastjson.AppendString(dst, rec.Store)
+	return append(dst, `}}`...), nil
 }
