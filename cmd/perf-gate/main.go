@@ -35,10 +35,15 @@ import (
 // present, overrides the global -tolerance flag for every check the
 // block drives.
 type gateBlock struct {
-	TasksPerSecFloor          float64  `json:"tasks_per_sec_floor"`
-	JournalTasksPerSecFloor   float64  `json:"journal_tasks_per_sec_floor"`
-	AggregateTasksPerSecFloor float64  `json:"aggregate_tasks_per_sec_floor"`
-	AllocsPerTaskCeiling      float64  `json:"allocs_per_task_ceiling"`
+	TasksPerSecFloor          float64 `json:"tasks_per_sec_floor"`
+	JournalTasksPerSecFloor   float64 `json:"journal_tasks_per_sec_floor"`
+	AggregateTasksPerSecFloor float64 `json:"aggregate_tasks_per_sec_floor"`
+	AllocsPerTaskCeiling      float64 `json:"allocs_per_task_ceiling"`
+	// P99SpeedupFloor / DuplicateWorkRatioCeiling gate the tail bench:
+	// hedging must keep cutting p99 job makespan by at least the floor
+	// while duplicating no more than the ceiling's fraction of steps.
+	P99SpeedupFloor           float64  `json:"p99_speedup_floor"`
+	DuplicateWorkRatioCeiling float64  `json:"duplicate_work_ratio_ceiling"`
 	Tolerance                 *float64 `json:"tolerance"`
 }
 
@@ -51,6 +56,7 @@ type baseline struct {
 	} `json:"event_driven"`
 	JournalTasksPerSec   float64 `json:"journal_tasks_per_sec"`
 	AggregateTasksPerSec float64 `json:"aggregate_tasks_per_sec"`
+	P99Speedup           float64 `json:"p99_speedup"`
 }
 
 // freshRun is the subset of an xtract-bench -benchjson output the gate
@@ -62,6 +68,8 @@ type freshRun struct {
 	JournalTasksPerSec   float64 `json:"journal_tasks_per_sec"`
 	AggregateTasksPerSec float64 `json:"aggregate_tasks_per_sec"`
 	AllocsPerTask        float64 `json:"allocs_per_task"`
+	P99Speedup           float64 `json:"p99_speedup"`
+	DuplicateWorkRatio   float64 `json:"duplicate_work_ratio"`
 }
 
 func readJSON(path string, v interface{}) error {
@@ -132,15 +140,15 @@ func leastFresh(list string, pick func(freshRun) float64) (least float64, leastP
 // checkFloor compares one fresh figure against its committed floor
 // under the tolerance, returning a human-readable verdict line and
 // pass/fail.
-func checkFloor(name string, fresh, floor, tolerance float64) (string, bool) {
+func checkFloor(name, unit string, fresh, floor, tolerance float64) (string, bool) {
 	limit := floor * (1 - tolerance)
 	verdict := "PASS"
 	ok := fresh >= limit
 	if !ok {
 		verdict = "FAIL"
 	}
-	return fmt.Sprintf("%s %s: %.1f tasks/s vs floor %.1f (tolerance %.0f%% -> limit %.1f)",
-		verdict, name, fresh, floor, tolerance*100, limit), ok
+	return fmt.Sprintf("%s %s: %.1f%s vs floor %.1f (tolerance %.0f%% -> limit %.1f)",
+		verdict, name, fresh, unit, floor, tolerance*100, limit), ok
 }
 
 // checkCeiling is the inverse direction: the fresh figure must stay at
@@ -182,7 +190,7 @@ func gateOne(name, basePath, freshList string, floorOf func(baseline) float64,
 	if err != nil {
 		return []string{"ERROR " + err.Error()}, false
 	}
-	line, ok := checkFloor(name+" ("+path+")", fresh, floor, tol)
+	line, ok := checkFloor(name+" ("+path+")", " tasks/s", fresh, floor, tol)
 	lines := []string{line}
 	pass := ok
 	if ceiling := base.Gate.AllocsPerTaskCeiling; ceiling > 0 {
@@ -197,12 +205,63 @@ func gateOne(name, basePath, freshList string, floorOf func(baseline) float64,
 	return lines, pass
 }
 
+// gateTail runs the tail bench's checks: the p99-speedup floor (best
+// run wins, like every floor) and the duplicate-work-ratio ceiling
+// (lowest run wins, like the allocs ceiling — noise only ever inflates
+// it). A zero ratio is a legitimate best case (no hedges fired), so the
+// ceiling scan accepts zeros instead of treating them as missing.
+func gateTail(basePath, freshList string, global float64) ([]string, bool) {
+	var base baseline
+	if err := readJSON(basePath, &base); err != nil {
+		return []string{"ERROR " + err.Error()}, false
+	}
+	floor := base.Gate.P99SpeedupFloor
+	if floor == 0 {
+		floor = base.P99Speedup
+	}
+	if floor == 0 {
+		return []string{"ERROR " + basePath + ": no tail p99 speedup floor figure"}, false
+	}
+	tol := tolFor(base.Gate, global)
+	fresh, path, err := bestFresh(freshList, func(r freshRun) float64 { return r.P99Speedup })
+	if err != nil {
+		return []string{"ERROR " + err.Error()}, false
+	}
+	line, ok := checkFloor("tail p99 speedup ("+path+")", "x", fresh, floor, tol)
+	lines := []string{line}
+	pass := ok
+	if ceiling := base.Gate.DuplicateWorkRatioCeiling; ceiling > 0 {
+		least, leastPath := 0.0, ""
+		for _, p := range strings.Split(freshList, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			var r freshRun
+			if err := readJSON(p, &r); err != nil {
+				return append(lines, "ERROR "+err.Error()), false
+			}
+			if leastPath == "" || r.DuplicateWorkRatio < least {
+				least, leastPath = r.DuplicateWorkRatio, p
+			}
+		}
+		if leastPath == "" {
+			return append(lines, "ERROR no fresh tail bench files in "+freshList), false
+		}
+		cline, cok := checkCeiling("tail duplicate-work ratio ("+leastPath+")", least, ceiling, tol)
+		lines = append(lines, cline)
+		pass = pass && cok
+	}
+	return lines, pass
+}
+
 // inputs collects the gate's file arguments; each baseline/fresh pair
 // is optional but at least one must be given.
 type inputs struct {
 	PumpBase, PumpFresh       string
 	JournalBase, JournalFresh string
 	ScaleBase, ScaleFresh     string
+	TailBase, TailFresh       string
 	Tolerance                 float64
 }
 
@@ -252,6 +311,10 @@ func run(in inputs) ([]string, bool) {
 			func(r freshRun) float64 { return r.AggregateTasksPerSec }, in.Tolerance))
 	}
 
+	if in.TailBase != "" && in.TailFresh != "" {
+		add(gateTail(in.TailBase, in.TailFresh, in.Tolerance))
+	}
+
 	if !checked {
 		return append(lines, "ERROR no baseline/fresh pair given"), false
 	}
@@ -265,6 +328,8 @@ func main() {
 	journalFresh := flag.String("journal", "", "fresh journal bench JSON (comma-separated list; best run wins)")
 	scaleBase := flag.String("scale-baseline", "", "committed BENCH_SCALE.json")
 	scaleFresh := flag.String("scale", "", "fresh scale bench JSON (comma-separated list; best run wins)")
+	tailBase := flag.String("tail-baseline", "", "committed BENCH_TAIL.json")
+	tailFresh := flag.String("tail", "", "fresh tail bench JSON (comma-separated list; best run wins)")
 	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional drift past a floor or ceiling (per-bench gate tolerance overrides)")
 	flag.Parse()
 
@@ -272,6 +337,7 @@ func main() {
 		PumpBase: *pumpBase, PumpFresh: *pumpFresh,
 		JournalBase: *journalBase, JournalFresh: *journalFresh,
 		ScaleBase: *scaleBase, ScaleFresh: *scaleFresh,
+		TailBase: *tailBase, TailFresh: *tailFresh,
 		Tolerance: *tolerance,
 	})
 	for _, l := range lines {

@@ -243,3 +243,57 @@ func TestGateScaleFloor(t *testing.T) {
 		t.Fatal("scale fallback floor not enforced")
 	}
 }
+
+// TestGateTail covers the fourth baseline/fresh pair: the hedging p99
+// speedup floor and the duplicate-work-ratio ceiling from
+// BENCH_TAIL.json, in both directions.
+func TestGateTail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "BENCH_TAIL.json", map[string]interface{}{
+		"gate": map[string]float64{
+			"p99_speedup_floor":            2.0,
+			"duplicate_work_ratio_ceiling": 0.10,
+		},
+		"p99_speedup": 3.0,
+	})
+	good := writeJSON(t, dir, "tail_good.json", map[string]float64{
+		"p99_speedup": 2.8, "duplicate_work_ratio": 0.04})
+	slow := writeJSON(t, dir, "tail_slow.json", map[string]float64{
+		"p99_speedup": 1.2, "duplicate_work_ratio": 0.04})
+	wasteful := writeJSON(t, dir, "tail_wasteful.json", map[string]float64{
+		"p99_speedup": 2.8, "duplicate_work_ratio": 0.30})
+
+	if lines, pass := run(inputs{TailBase: base, TailFresh: good, Tolerance: 0.05}); !pass {
+		t.Fatalf("tail gate failed a healthy run:\n%s", strings.Join(lines, "\n"))
+	}
+	lines, pass := run(inputs{TailBase: base, TailFresh: slow, Tolerance: 0.05})
+	if pass {
+		t.Fatalf("tail gate passed a collapsed p99 speedup:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL tail p99 speedup") {
+		t.Fatalf("expected a tail speedup FAIL verdict, got:\n%s", strings.Join(lines, "\n"))
+	}
+	lines, pass = run(inputs{TailBase: base, TailFresh: wasteful, Tolerance: 0.05})
+	if pass {
+		t.Fatalf("tail gate passed a blown duplicate-work ceiling:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "FAIL tail duplicate-work ratio") {
+		t.Fatalf("expected a duplicate-work FAIL verdict, got:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// A zero ratio (no hedges fired at all) is the best case, not a
+	// missing figure.
+	quiet := writeJSON(t, dir, "tail_quiet.json", map[string]float64{
+		"p99_speedup": 2.5, "duplicate_work_ratio": 0})
+	if lines, pass := run(inputs{TailBase: base, TailFresh: quiet, Tolerance: 0.05}); !pass {
+		t.Fatalf("tail gate rejected a zero duplicate-work ratio:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// Fallback: no gate section, headline p99_speedup is the floor.
+	bare := writeJSON(t, dir, "BENCH_TAIL_bare.json", map[string]interface{}{
+		"p99_speedup": 3.0,
+	})
+	if _, pass := run(inputs{TailBase: bare, TailFresh: slow, Tolerance: 0.05}); pass {
+		t.Fatal("tail fallback floor not enforced")
+	}
+}

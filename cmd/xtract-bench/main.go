@@ -26,9 +26,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workload sizes")
-	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump,journal,scale")
+	only := flag.String("only", "", "comma-separated subset: tab1,fig2,fig3,fig4,fig5,tab2,fig6,fig7,fig8,tab3,headline,cache,pump,journal,scale,tail")
 	seed := flag.Int64("seed", 42, "random seed")
-	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache, pump, journal, or scale) as JSON to this file")
+	benchJSON := flag.String("benchjson", "", "write the selected benchmark's result (cache, pump, journal, scale, or tail) as JSON to this file")
 	pumps := flag.Int("pumps", 4, "maximum concurrent job pumps for the scale scenario")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the selected runs) to this file")
@@ -123,6 +123,55 @@ func main() {
 	}
 	if run("scale") {
 		pumpScaling(*quick, *seed, *pumps, *benchJSON)
+	}
+	if run("tail") {
+		tailLatency(*quick, *seed, *benchJSON)
+	}
+}
+
+func tailLatency(quick bool, seed int64, jsonPath string) {
+	header("Tail latency: hedged speculative execution off vs on")
+	jobs, filesPerJob := 60, 20
+	if quick {
+		jobs = 25
+	}
+	res, err := experiments.TailLatency(jobs, filesPerJob, seed)
+	if err != nil {
+		fmt.Printf("tail experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pipeline: %s  jobs: %d × %d files  straggler: %.0f%% of executions sleep %.0f ms (base %.1f ms)\n",
+		res.Pipeline, res.Jobs, res.FilesPerJob, res.StragglerProb*100,
+		float64(res.StragglerSleep)/float64(time.Millisecond),
+		float64(res.BaseSleep)/float64(time.Millisecond))
+	fmt.Printf("hedging off: p50 %7.1f ms  p99 %7.1f ms\n",
+		float64(res.UnhedgedP50)/float64(time.Millisecond),
+		float64(res.UnhedgedP99)/float64(time.Millisecond))
+	fmt.Printf("hedging on:  p50 %7.1f ms  p99 %7.1f ms   p99 speedup: %.2fx\n",
+		float64(res.HedgedP50)/float64(time.Millisecond),
+		float64(res.HedgedP99)/float64(time.Millisecond), res.P99Speedup)
+	fmt.Printf("duplicate work: %d hedges / %d steps (ratio %.4f), %d hedge wins, %d fenced duplicates\n",
+		res.StepsHedged, res.StepsProcessed, res.DuplicateWorkRatio,
+		res.HedgeWins, res.DuplicateSteps)
+	writeCSV("tail_latency",
+		[]string{"jobs", "files_per_job", "unhedged_p50_ms", "unhedged_p99_ms", "hedged_p50_ms", "hedged_p99_ms", "p99_speedup", "steps_processed", "steps_hedged", "duplicate_work_ratio"},
+		[][]string{{d(res.Jobs), d(res.FilesPerJob),
+			f(float64(res.UnhedgedP50) / float64(time.Millisecond)),
+			f(float64(res.UnhedgedP99) / float64(time.Millisecond)),
+			f(float64(res.HedgedP50) / float64(time.Millisecond)),
+			f(float64(res.HedgedP99) / float64(time.Millisecond)),
+			f(res.P99Speedup), d(int(res.StepsProcessed)), d(int(res.StepsHedged)),
+			f(res.DuplicateWorkRatio)}})
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Printf("benchjson write failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

@@ -102,6 +102,10 @@ type JobStatus struct {
 	Done     int64              `json:"groups_done"`
 	Err      string             `json:"err,omitempty"`
 	Complete bool               `json:"complete"`
+	// Degraded marks a job that converged with partial results inside
+	// the service's straggler budget (terminal state DEGRADED): its
+	// metadata shipped, minus the dead-lettered steps listed on Record.
+	Degraded bool               `json:"degraded,omitempty"`
 	Stats    *core.JobStats     `json:"stats,omitempty"`
 	Record   registry.JobRecord `json:"record"`
 }
@@ -247,6 +251,10 @@ const (
 	// CodeTenantForbidden (403) marks cross-tenant access to a job or
 	// another tenant's usage.
 	CodeTenantForbidden = "tenant_forbidden"
+	// CodeOverloaded (503) marks a submission shed by the service's
+	// overload watermark (queue depth or task-slot pressure); the
+	// Retry-After header carries the suggested wait.
+	CodeOverloaded = "overloaded"
 )
 
 // ErrorInfo is the structured error payload.
@@ -697,6 +705,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Overload shedding runs before admission: a service past its queue
+	// or task-slot watermark refuses new work outright — 503 with a
+	// Retry-After — rather than letting it pile onto an already deep
+	// backlog. Shedding consumes none of the tenant's rate tokens.
+	if retry, shed := s.svc.ShedCheck(); shed {
+		secs := int(retry / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+			fmt.Errorf("api: service overloaded, retry after %s", retry))
+		return
+	}
+
 	// Admission control runs after request validation — a 400 must never
 	// consume the tenant's rate tokens or leak a job-slot reservation.
 	// The reservation taken here is consumed by the pump's JobStarted.
@@ -757,12 +780,13 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := JobStatus{
-		JobID:   id,
-		State:   string(rec.State),
-		Tenant:  tenant.Normalize(rec.Tenant),
-		Crawled: rec.GroupsCrawled,
-		Done:    rec.GroupsDone,
-		Record:  rec,
+		JobID:    id,
+		State:    string(rec.State),
+		Tenant:   tenant.Normalize(rec.Tenant),
+		Crawled:  rec.GroupsCrawled,
+		Done:     rec.GroupsDone,
+		Degraded: rec.State == registry.JobDegraded,
+		Record:   rec,
 	}
 	s.mu.Lock()
 	if res, ok := s.completed.get(id); ok {

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"xtract/internal/clock"
+)
+
+// This file is the endpoint-health half of the tail-latency armor:
+// per-site circuit breakers over task outcomes. Dispatcher shards record
+// every terminal task against their site's breaker; placement (and hedge
+// targeting) consults Allow to route families away from sites that are
+// failing or timing out, and the half-open probe path lets a recovered
+// site earn its traffic back. State is surfaced as the
+// xtract_breaker_state gauge (0 closed, 1 half-open, 2 open).
+
+// Breaker states.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// BreakerPolicy configures the per-site circuit breakers.
+type BreakerPolicy struct {
+	// Enabled turns the breakers on; off (the default) leaves placement
+	// untouched.
+	Enabled bool
+	// Window is how many outcomes are pooled before the trip ratio is
+	// evaluated (default 20). Between evaluations counts decay by half so
+	// old failures cannot trip a now-healthy site.
+	Window int
+	// TripRatio is the failure fraction (errors + timeouts + lost tasks
+	// over all outcomes) at or above which the breaker opens
+	// (default 0.5).
+	TripRatio float64
+	// Cooldown is how long an open breaker rejects before letting
+	// half-open probes through (default 2s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many probe placements a half-open breaker
+	// admits; that many consecutive successes close it, any failure
+	// reopens it (default 3).
+	HalfOpenProbes int
+}
+
+// withDefaults fills zero fields.
+func (b BreakerPolicy) withDefaults() BreakerPolicy {
+	if b.Window <= 0 {
+		b.Window = 20
+	}
+	if b.TripRatio <= 0 || b.TripRatio > 1 {
+		b.TripRatio = 0.5
+	}
+	if b.Cooldown <= 0 {
+		b.Cooldown = 2 * time.Second
+	}
+	if b.HalfOpenProbes <= 0 {
+		b.HalfOpenProbes = 3
+	}
+	return b
+}
+
+// breaker is one site's circuit breaker. Safe for concurrent use: shards
+// record outcomes while pumps consult Allow. A nil *breaker (breakers
+// disabled) always allows and records nothing.
+type breaker struct {
+	pol BreakerPolicy
+	clk clock.Clock
+
+	mu       sync.Mutex
+	state    int
+	succ     int
+	fail     int
+	openedAt time.Time
+	// probes is how many half-open placements have been admitted;
+	// probeOK counts their successes.
+	probes  int
+	probeOK int
+}
+
+func newBreaker(pol BreakerPolicy, clk clock.Clock) *breaker {
+	return &breaker{pol: pol, clk: clk}
+}
+
+// Allow reports whether the site may receive new work. An open breaker
+// whose cooldown has elapsed transitions to half-open here and admits up
+// to HalfOpenProbes placements.
+func (b *breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.clk.Since(b.openedAt) < b.pol.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probes = 1
+		b.probeOK = 0
+		return true
+	default: // half-open
+		if b.probes < b.pol.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one task outcome (success, or error/timeout/lost) into
+// the breaker's state machine.
+func (b *breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		if !ok {
+			b.state = breakerOpen
+			b.openedAt = b.clk.Now()
+			b.succ, b.fail = 0, 0
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.pol.HalfOpenProbes {
+			b.state = breakerClosed
+			b.succ, b.fail = 0, 0
+		}
+	case breakerClosed:
+		if ok {
+			b.succ++
+		} else {
+			b.fail++
+		}
+		if b.succ+b.fail >= b.pol.Window {
+			if float64(b.fail) >= b.pol.TripRatio*float64(b.succ+b.fail) {
+				b.state = breakerOpen
+				b.openedAt = b.clk.Now()
+				b.succ, b.fail = 0, 0
+				return
+			}
+			// Decay instead of reset: a site hovering near the trip ratio
+			// keeps recent history without old outcomes dominating forever.
+			b.succ /= 2
+			b.fail /= 2
+		}
+	default: // open: outcomes of tasks submitted before the trip are stale
+	}
+}
+
+// State returns the breaker state for the xtract_breaker_state gauge.
+func (b *breaker) State() int {
+	if b == nil {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

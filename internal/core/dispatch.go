@@ -36,6 +36,24 @@ type dispatchItem struct {
 	extractor string
 	readyAt   time.Time
 	sp        stepPayload
+	// hedge marks a speculative duplicate of a step already running
+	// elsewhere. Hedge steps never batch with originals (separate bucket
+	// key) so a straggler's duplicate is not delayed behind fresh work.
+	hedge bool
+}
+
+// bucketKey separates hedge duplicates from first-attempt steps in the
+// shard's batching buckets.
+type bucketKey struct {
+	extractor string
+	hedge     bool
+}
+
+// outTask is one task outstanding on the fabric: the step refs it
+// carries and whether it is a hedge duplicate.
+type outTask struct {
+	refs  []stepRef
+	hedge bool
 }
 
 // shardEvent is one notification from a dispatcher shard back to the
@@ -52,6 +70,14 @@ type shardEvent struct {
 	failed bool
 	cause  string // "no_function" | "submit_error"
 	detail string
+
+	// submitted marks a task-accepted notification (hedging only): the
+	// pump arms the task's hedge deadline and records which task IDs
+	// carry which steps, for loser cancellation.
+	submitted bool
+	// hedge marks the task as a speculative duplicate, on both submitted
+	// and terminal events.
+	hedge bool
 }
 
 // shardEventSink fans events from every shard into the pump. The buffer
@@ -111,12 +137,13 @@ type dispatcher struct {
 	sink   *shardEventSink
 	comp   *faas.CompletionSink
 
-	buckets map[string][]dispatchItem // extractor -> pending steps
+	buckets map[bucketKey][]dispatchItem
 	reqs    []faas.TaskRequest
 	refs    [][]stepRef
 	bufs    []*[]byte
 	readyAt []time.Time // earliest readyAt per pending request
-	out     map[string][]stepRef
+	hedges  []bool      // hedge flag per pending request
+	out     map[string]outTask
 }
 
 func newDispatcher(s *Service, jobID, tenant string, site *Site, sink *shardEventSink) *dispatcher {
@@ -128,8 +155,8 @@ func newDispatcher(s *Service, jobID, tenant string, site *Site, sink *shardEven
 		feed:    make(chan dispatchItem, feedDepth),
 		sink:    sink,
 		comp:    faas.NewCompletionSink(),
-		buckets: make(map[string][]dispatchItem),
-		out:     make(map[string][]stepRef),
+		buckets: make(map[bucketKey][]dispatchItem),
+		out:     make(map[string]outTask),
 	}
 }
 
@@ -175,9 +202,10 @@ func (d *dispatcher) run(ctx context.Context) {
 // and full funcX batches submit immediately, exactly as the paper's
 // batching layers prescribe.
 func (d *dispatcher) intake(it dispatchItem) {
-	d.buckets[it.extractor] = append(d.buckets[it.extractor], it)
-	if len(d.buckets[it.extractor]) >= d.s.cfg.XtractBatchSize {
-		d.makeTask(it.extractor)
+	k := bucketKey{extractor: it.extractor, hedge: it.hedge}
+	d.buckets[k] = append(d.buckets[k], it)
+	if len(d.buckets[k]) >= d.s.cfg.XtractBatchSize {
+		d.makeTask(k)
 		if len(d.reqs) >= d.s.cfg.FuncXBatchSize {
 			d.submit()
 		}
@@ -187,8 +215,8 @@ func (d *dispatcher) intake(it dispatchItem) {
 // flushAll converts every partial bucket into a task and submits the
 // accumulated batch.
 func (d *dispatcher) flushAll() {
-	for ext := range d.buckets {
-		d.makeTask(ext)
+	for k := range d.buckets {
+		d.makeTask(k)
 		if len(d.reqs) >= d.s.cfg.FuncXBatchSize {
 			d.submit()
 		}
@@ -203,10 +231,11 @@ func (d *dispatcher) flushAll() {
 // resolved through the registry first — an RDS query on first use,
 // served from cache afterwards (the Figure 3 t_xs cost). Resolution
 // failures go back to the pump as dispatch-failure events.
-func (d *dispatcher) makeTask(extractor string) {
-	items := d.buckets[extractor]
+func (d *dispatcher) makeTask(k bucketKey) {
+	extractor := k.extractor
+	items := d.buckets[k]
 	if len(items) == 0 {
-		delete(d.buckets, extractor)
+		delete(d.buckets, k)
 		return
 	}
 	n := d.s.cfg.XtractBatchSize
@@ -215,9 +244,9 @@ func (d *dispatcher) makeTask(extractor string) {
 	}
 	batch := items[:n]
 	if len(items) == n {
-		delete(d.buckets, extractor)
+		delete(d.buckets, k)
 	} else {
-		d.buckets[extractor] = items[n:]
+		d.buckets[k] = items[n:]
 	}
 
 	steps := make([]stepPayload, 0, len(batch))
@@ -262,14 +291,15 @@ func (d *dispatcher) makeTask(extractor string) {
 	d.refs = append(d.refs, refs)
 	d.bufs = append(d.bufs, buf)
 	d.readyAt = append(d.readyAt, earliest)
+	d.hedges = append(d.hedges, k.hedge)
 }
 
 // submit sends the accumulated funcX batch and subscribes the shard's
 // completion sink to the new tasks. Submission failure loses the whole
 // batch: every step goes back to the pump for retry/dead-letter.
 func (d *dispatcher) submit() {
-	reqs, refs, bufs, readyAt := d.reqs, d.refs, d.bufs, d.readyAt
-	d.reqs, d.refs, d.bufs, d.readyAt = nil, nil, nil, nil
+	reqs, refs, bufs, readyAt, hedges := d.reqs, d.refs, d.bufs, d.readyAt, d.hedges
+	d.reqs, d.refs, d.bufs, d.readyAt, d.hedges = nil, nil, nil, nil, nil
 	ids, err := d.s.cfg.FaaS.SubmitBatch(reqs)
 	for _, b := range bufs {
 		putPayloadBuf(b) // SubmitBatch copied every payload
@@ -279,19 +309,24 @@ func (d *dispatcher) submit() {
 			d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(r))
 			d.sink.push(shardEvent{failed: true, cause: "submit_error", detail: err.Error(), refs: r})
 		}
-		d.recycle(reqs, refs, bufs, readyAt)
+		d.recycle(reqs, refs, bufs, readyAt, hedges)
 		return
 	}
 	now := d.s.clk.Now()
 	for i, id := range ids {
-		d.out[id] = refs[i]
+		d.out[id] = outTask{refs: refs[i], hedge: hedges[i]}
 		d.s.obsDispatchLatency.ObserveDuration(now.Sub(readyAt[i]))
 		d.s.obs.Emitf(d.jobID, obs.EvBatchDispatched, "task=%s steps=%d endpoint=%s",
 			id, len(refs[i]), reqs[i].EndpointID)
+		if d.s.hedge.Enabled {
+			// Tell the pump the task is live so it can arm the hedge
+			// deadline and map task→steps for loser cancellation.
+			d.sink.push(shardEvent{taskID: id, refs: refs[i], submitted: true, hedge: hedges[i]})
+		}
 	}
 	d.s.obsPipelineDepth.Add(float64(len(ids)))
 	d.s.cfg.FaaS.Notify(ids, d.comp)
-	d.recycle(reqs, refs, bufs, readyAt)
+	d.recycle(reqs, refs, bufs, readyAt, hedges)
 }
 
 // recycle hands the accumulation slices' backing arrays back for the next
@@ -299,7 +334,7 @@ func (d *dispatcher) submit() {
 // payloads into the buffer pool) but the outer arrays do not, so reusing
 // them removes four allocations per funcX batch. Elements are cleared so
 // the arrays don't pin dead payloads and refs until overwritten.
-func (d *dispatcher) recycle(reqs []faas.TaskRequest, refs [][]stepRef, bufs []*[]byte, readyAt []time.Time) {
+func (d *dispatcher) recycle(reqs []faas.TaskRequest, refs [][]stepRef, bufs []*[]byte, readyAt []time.Time, hedges []bool) {
 	for i := range reqs {
 		reqs[i] = faas.TaskRequest{}
 	}
@@ -313,20 +348,22 @@ func (d *dispatcher) recycle(reqs []faas.TaskRequest, refs [][]stepRef, bufs []*
 	d.refs = refs[:0]
 	d.bufs = bufs[:0]
 	d.readyAt = readyAt[:0]
+	d.hedges = hedges[:0]
 }
 
 // terminal forwards one finished/lost task to the pump. The out-map
 // check makes notification and reconciliation idempotent: whichever path
 // sees the task first claims it.
 func (d *dispatcher) terminal(id string, info faas.TaskInfo) {
-	refs, ok := d.out[id]
+	ot, ok := d.out[id]
 	if !ok {
 		return
 	}
 	delete(d.out, id)
 	d.s.obsPipelineDepth.Dec()
-	d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(refs))
-	d.sink.push(shardEvent{taskID: id, info: info, refs: refs})
+	d.s.cfg.Tenants.ReleaseTasks(d.tenant, len(ot.refs))
+	d.s.recordSiteOutcome(d.site.Name, info)
+	d.sink.push(shardEvent{taskID: id, info: info, refs: ot.refs, hedge: ot.hedge})
 }
 
 // releaseAbandoned returns every fair-share task slot this shard still
@@ -342,8 +379,8 @@ func (d *dispatcher) releaseAbandoned() {
 	for _, r := range d.refs {
 		n += len(r)
 	}
-	for _, r := range d.out {
-		n += len(r)
+	for _, ot := range d.out {
+		n += len(ot.refs)
 	}
 	for {
 		select {

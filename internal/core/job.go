@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -72,7 +73,21 @@ type JobStats struct {
 	// orchestration bench tracks.
 	PumpWakeups     int64
 	PumpIdleWakeups int64
-	Elapsed         time.Duration
+	// FamiliesDegraded is the subset of FamiliesDone that shipped partial
+	// results under the job's straggler budget: their dead-lettered steps
+	// are marked in the validation record instead of failing the family.
+	FamiliesDegraded int64
+	// StepsHedged counts speculative duplicates dispatched for steps that
+	// exceeded their extractor's latency estimate; HedgeWins the
+	// duplicates that finished first; DuplicateSteps the redundant
+	// completions discarded by the exactly-once fence.
+	StepsHedged    int64
+	HedgeWins      int64
+	DuplicateSteps int64
+	// Degraded marks the job's terminal state DEGRADED: it converged with
+	// partial results inside the straggler budget.
+	Degraded bool
+	Elapsed  time.Duration
 }
 
 // PipelineKind names the orchestration pipeline implementation, recorded
@@ -137,6 +152,14 @@ type retryItem struct {
 	staging bool
 }
 
+// hedgeItem arms one submitted task's hedge deadline: when the task is
+// still running at `at`, each of its unfinished steps gets a
+// speculative duplicate.
+type hedgeItem struct {
+	at     time.Time
+	taskID string
+}
+
 // pump is the orchestration state for one job. Family state stays
 // single-threaded — only the pump goroutine touches states, staging,
 // attempts, backlog, and budget, which is what keeps the PR2 retry/
@@ -192,6 +215,46 @@ type pump struct {
 	deadLettered int64
 	wakeups      int64
 	idleWakeups  int64
+
+	// seenFams dedups family intake: the crawl queue has SQS semantics,
+	// so a visibility expiry racing completion redelivers a family under
+	// a fresh receipt, and processing it twice would double every step's
+	// billing and journal record.
+	seenFams map[string]bool
+
+	// Hedging state, allocated only when the hedge policy is enabled (a
+	// nil doneSteps map means every hedge path below is skipped and the
+	// pipeline behaves exactly as before).
+	//
+	// doneSteps is the exactly-once fence: the first completion of a
+	// step claims it here, and every later (duplicate) completion is
+	// discarded before any side effect — plan advancement, cache
+	// write-back, journal record, billing, stats — can repeat.
+	doneSteps map[stepKey]bool
+	// liveAttempts counts in-flight executions per step (1 normally, 2
+	// while hedged); a failure is swallowed while other attempts are
+	// live, so only the last attempt's failure reaches retry/dead-letter.
+	liveAttempts map[stepKey]int
+	// stepTasks maps a step to the task IDs carrying it, for loser
+	// cancellation; taskRefs is the reverse (task → steps), from
+	// submitted events; hedgeTasks holds first-attempt tasks whose
+	// deadline is armed in hedgeQ; hedgedSteps marks steps already
+	// hedged once (a step is never hedged twice).
+	stepTasks   map[stepKey][]string
+	taskRefs    map[string][]stepRef
+	hedgeTasks  map[string][]stepRef
+	hedgeQ      []hedgeItem
+	hedgedSteps map[stepKey]bool
+	// taskSubmitted records when each task was accepted by the fabric:
+	// the estimator is fed end-to-end latency (submit → terminal, the
+	// same span the hedge deadline is armed over), so endpoint queueing
+	// is priced into the deadline instead of counting against it.
+	taskSubmitted map[string]time.Time
+
+	stepsHedged    int64
+	hedgeWins      int64
+	duplicateSteps int64
+	degradedFam    int64
 
 	// pendingResults accumulates finished-family validation records so
 	// one ResultQueue.SendBatch per pump cycle replaces a queue lock (and
@@ -374,6 +437,16 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		shards:   make(map[string]*dispatcher),
 		attempts: make(map[stepKey]int),
 		budget:   s.retry.JobBudget,
+		seenFams: make(map[string]bool),
+	}
+	if s.hedge.Enabled {
+		p.doneSteps = make(map[stepKey]bool)
+		p.liveAttempts = make(map[stepKey]int)
+		p.stepTasks = make(map[stepKey][]string)
+		p.taskRefs = make(map[string][]stepRef)
+		p.hedgeTasks = make(map[string][]stepRef)
+		p.hedgedSteps = make(map[stepKey]bool)
+		p.taskSubmitted = make(map[string]time.Time)
 	}
 	defer func() {
 		p.flushResults() // error paths must not strand buffered records
@@ -456,6 +529,9 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 			if p.intakeRetries() {
 				pass = true
 			}
+			if p.intakeHedges() {
+				pass = true
+			}
 			if p.handleEvents() {
 				pass = true
 			}
@@ -499,11 +575,19 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 	state := registry.JobComplete
 	event := obs.EvJobCompleted
 	var errMsg string
-	if p.failedFam > 0 || p.deadLettered > 0 {
+	stragglers := int64(s.cfg.StragglerBudget)
+	switch {
+	case p.failedFam > 0 || (p.deadLettered > 0 && (stragglers <= 0 || p.deadLettered > stragglers)):
 		state = registry.JobFailed
 		event = obs.EvJobFailed
 		errMsg = fmt.Sprintf("core: %d families failed, %d steps dead-lettered",
 			p.failedFam, p.deadLettered)
+	case p.degradedFam > 0:
+		// Dead-lettered stragglers stayed inside the budget: the job
+		// converged with partial results rather than failing outright.
+		state = registry.JobDegraded
+		errMsg = fmt.Sprintf("core: degraded: %d families partial, %d steps dead-lettered",
+			p.degradedFam, p.deadLettered)
 	}
 	_ = s.cfg.Registry.UpdateJob(jobID, func(j *registry.JobRecord) {
 		j.State = state
@@ -534,6 +618,11 @@ func (s *Service) runJob(ctx context.Context, jobID string, repos []RepoSpec, op
 		CacheMisses:       p.cacheMisses,
 		PumpWakeups:       p.wakeups,
 		PumpIdleWakeups:   p.idleWakeups,
+		FamiliesDegraded:  p.degradedFam,
+		StepsHedged:       p.stepsHedged,
+		HedgeWins:         p.hedgeWins,
+		DuplicateSteps:    p.duplicateSteps,
+		Degraded:          state == registry.JobDegraded,
 		Elapsed:           elapsed,
 	}, nil
 }
@@ -603,6 +692,15 @@ func (p *pump) intakeFamilies() bool {
 		if err := json.Unmarshal(m.Body, &fam); err != nil {
 			continue
 		}
+		if p.seenFams[fam.ID] {
+			// Redelivery: the message's visibility expired while a slow
+			// intake pass was still holding it, so the queue handed it out
+			// again under a fresh receipt. The family is already placed (or
+			// finished) — running it twice would double-complete every
+			// step — so only the receipt is acknowledged.
+			continue
+		}
+		p.seenFams[fam.ID] = true
 		p.s.obs.Emitf(p.jobID, obs.EvFamilyEnqueued, "family=%s groups=%d bytes=%d",
 			fam.ID, len(fam.Groups), fam.TotalBytes())
 		p.journal(journal.Record{
@@ -958,6 +1056,30 @@ func (p *pump) await(ctx context.Context, crawlDone <-chan crawler.Stats, crawlE
 	if p.prefetchGate == nil && len(p.staging) > 0 {
 		prefetchReady = p.s.cfg.PrefetchDone.Ready()
 	}
+	// Hedge deadlines: prune entries whose task already finished, then
+	// arm a timer for the earliest surviving deadline.
+	var hedgeCh <-chan time.Time
+	if p.hedging() && len(p.hedgeQ) > 0 {
+		rest := p.hedgeQ[:0]
+		var next time.Time
+		for _, h := range p.hedgeQ {
+			if _, live := p.hedgeTasks[h.taskID]; !live {
+				continue
+			}
+			rest = append(rest, h)
+			if next.IsZero() || h.at.Before(next) {
+				next = h.at
+			}
+		}
+		p.hedgeQ = rest
+		if len(rest) > 0 {
+			d := next.Sub(p.s.clk.Now())
+			if d < 0 {
+				d = 0
+			}
+			hedgeCh = p.s.clk.After(d)
+		}
+	}
 	select {
 	case <-ctx.Done():
 		return "", ctx.Err()
@@ -980,6 +1102,8 @@ func (p *pump) await(ctx context.Context, crawlDone <-chan crawler.Stats, crawlE
 		return "events", nil
 	case <-retryCh:
 		return "retry", nil
+	case <-hedgeCh:
+		return "hedge", nil
 	case <-p.prefetchGate:
 		p.prefetchGate = nil
 		return "staged", nil
@@ -1003,8 +1127,17 @@ func (p *pump) handleEvents() bool {
 		}
 	}
 	for _, ev := range evs {
+		if ev.submitted {
+			p.noteSubmitted(ev)
+			continue
+		}
 		if ev.failed {
 			for _, r := range ev.refs {
+				key := stepKey{r.famID, r.step}
+				p.attemptDone(key)
+				if p.stepMoot(key) {
+					continue // another attempt owns this step's fate
+				}
 				if st, ok := p.states[r.famID]; ok {
 					p.retryOrDeadLetter(st, r.step, ev.cause, ev.detail)
 					p.finishIfDone(st)
@@ -1012,9 +1145,210 @@ func (p *pump) handleEvents() bool {
 			}
 			continue
 		}
-		p.handleTerminal(ev.taskID, ev.info, ev.refs)
+		p.handleTerminal(ev.taskID, ev.info, ev.refs, ev.hedge)
 	}
 	return true
+}
+
+// hedging reports whether this pump runs the hedged-execution paths.
+func (p *pump) hedging() bool { return p.doneSteps != nil }
+
+// attemptDone retires one in-flight execution of a step.
+func (p *pump) attemptDone(key stepKey) {
+	if !p.hedging() {
+		return
+	}
+	if n := p.liveAttempts[key]; n > 1 {
+		p.liveAttempts[key] = n - 1
+	} else if n == 1 {
+		delete(p.liveAttempts, key)
+	}
+}
+
+// stepMoot reports whether a failed attempt for the step can be
+// swallowed: the step already completed via another attempt (a hedge
+// winner — its cancelled or failed loser is noise), or another attempt
+// is still in flight and will drive the step to its own outcome.
+func (p *pump) stepMoot(key stepKey) bool {
+	if !p.hedging() {
+		return false
+	}
+	return p.doneSteps[key] || p.liveAttempts[key] > 0
+}
+
+// noteSubmitted records a task accepted by the fabric: task→step maps
+// for loser cancellation, and — for first-attempt tasks — the adaptive
+// hedge deadline, scaled by the number of steps the task carries.
+func (p *pump) noteSubmitted(ev shardEvent) {
+	if !p.hedging() || len(ev.refs) == 0 {
+		return
+	}
+	now := p.s.clk.Now()
+	p.taskRefs[ev.taskID] = ev.refs
+	p.taskSubmitted[ev.taskID] = now
+	for _, r := range ev.refs {
+		key := stepKey{r.famID, r.step}
+		p.stepTasks[key] = append(p.stepTasks[key], ev.taskID)
+	}
+	if ev.hedge {
+		return // hedges are never themselves hedged
+	}
+	d := p.s.estimator.Deadline(ev.refs[0].step.Extractor, p.s.cfg.FaaS.HeartbeatTimeout)
+	if d <= 0 {
+		return
+	}
+	d *= time.Duration(len(ev.refs))
+	p.hedgeTasks[ev.taskID] = ev.refs
+	p.hedgeQ = append(p.hedgeQ, hedgeItem{at: now.Add(d), taskID: ev.taskID})
+}
+
+// intakeHedges fires expired hedge deadlines: every unfinished,
+// not-yet-hedged step of a task still running past its deadline gets a
+// speculative duplicate on another site.
+func (p *pump) intakeHedges() bool {
+	if !p.hedging() || len(p.hedgeQ) == 0 {
+		return false
+	}
+	now := p.s.clk.Now()
+	rest := p.hedgeQ[:0]
+	progress := false
+	for _, h := range p.hedgeQ {
+		if h.at.After(now) {
+			rest = append(rest, h)
+			continue
+		}
+		refs, live := p.hedgeTasks[h.taskID]
+		delete(p.hedgeTasks, h.taskID)
+		if !live {
+			continue // the task finished before its deadline
+		}
+		progress = true
+		for _, r := range refs {
+			key := stepKey{r.famID, r.step}
+			if p.doneSteps[key] || p.hedgedSteps[key] {
+				continue
+			}
+			st, ok := p.states[r.famID]
+			if !ok {
+				continue
+			}
+			p.hedgedSteps[key] = true
+			p.dispatchHedge(st, r.step)
+		}
+	}
+	p.hedgeQ = rest
+	return progress
+}
+
+// hedgeTarget picks the site for a speculative duplicate: a different
+// compute site that can run the extractor and whose circuit breaker
+// admits new work (sites scanned in name order for determinism), else
+// the origin site itself — a straggler is usually a property of the
+// worker, not the step, so even a same-site duplicate tends to win.
+func (p *pump) hedgeTarget(st *famState, extractor string) *Site {
+	var cands []*Site
+	p.s.mu.Lock()
+	for name, site := range p.s.sites {
+		if name != st.site.Name && site.HasCompute() {
+			cands = append(cands, site)
+		}
+	}
+	p.s.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Name < cands[j].Name })
+	for _, site := range cands {
+		if _, err := p.s.functionFor(extractor, site.Name); err != nil {
+			continue
+		}
+		if p.s.breakerFor(site.Name).Allow() {
+			return site
+		}
+	}
+	if p.s.breakerFor(st.site.Name).Allow() {
+		return st.site
+	}
+	return nil
+}
+
+// dispatchHedge routes one speculative duplicate. On the origin site it
+// reuses the family's effective paths; on an alternate site the worker
+// fetches the original files from the family's home data layer over the
+// transfer fabric (the same mechanism as direct-fetch placement), so a
+// hedge needs no staging. Hedges never delete staged files — the
+// original attempt may still be reading them.
+func (p *pump) dispatchHedge(st *famState, step scheduler.Step) {
+	target := p.hedgeTarget(st, step.Extractor)
+	if target == nil {
+		return
+	}
+	sp := stepPayload{FamilyID: st.fam.ID, GroupID: step.GroupID}
+	if target.Name == st.site.Name {
+		sp.Files = p.groupFiles(st, step.GroupID)
+		sp.FetchFrom = st.fetchFrom
+	} else {
+		files := make(map[string]string)
+		for _, g := range st.fam.Groups {
+			if g.ID != step.GroupID {
+				continue
+			}
+			for _, f := range g.Files {
+				files[f] = f
+			}
+		}
+		sp.Files = files
+		if target.Name != st.fam.Store {
+			home, ok := p.s.Site(st.fam.Store)
+			if !ok {
+				return
+			}
+			sp.FetchFrom = home.TransferID
+		}
+	}
+	if _, err := p.s.cfg.Tenants.AcquireTask(p.jobCtx, p.tenant); err != nil {
+		return // job over; the controller reclaimed the slot internally
+	}
+	it := dispatchItem{extractor: step.Extractor, readyAt: p.s.clk.Now(), hedge: true, sp: sp}
+	select {
+	case p.shardFor(target).feed <- it:
+		p.liveAttempts[stepKey{st.fam.ID, step}]++
+		p.stepsHedged++
+		p.s.obsHedges.Inc()
+		p.s.obs.Emitf(p.jobID, obs.EvTaskHedged,
+			"family=%s group=%s extractor=%s site=%s speculative duplicate",
+			st.fam.ID, step.GroupID, step.Extractor, target.Name)
+	case <-p.jobCtx.Done():
+		p.s.cfg.Tenants.ReleaseTasks(p.tenant, 1)
+	}
+}
+
+// cancelLosers cancels the other in-flight tasks carrying a step that
+// just completed, freeing their workers early. A task is cancelled only
+// when every step it carries is already done — cancelling a multi-step
+// batch over one duplicate would kill innocent sibling steps.
+func (p *pump) cancelLosers(key stepKey, winner string) {
+	tids := p.stepTasks[key]
+	if len(tids) == 0 {
+		return
+	}
+	for _, tid := range tids {
+		if tid == winner {
+			continue
+		}
+		refs, live := p.taskRefs[tid]
+		if !live {
+			continue
+		}
+		all := true
+		for _, r := range refs {
+			if !p.doneSteps[stepKey{r.famID, r.step}] {
+				all = false
+				break
+			}
+		}
+		if all && p.s.cfg.FaaS.CancelTask(tid) {
+			p.s.obsHedgeCancelled.Inc()
+		}
+	}
+	delete(p.stepTasks, key)
 }
 
 // shardFor returns (creating on first use) the dispatcher shard that
@@ -1064,6 +1398,9 @@ func (p *pump) dispatch(st *famState, step scheduler.Step, files map[string]stri
 	}
 	select {
 	case p.shardFor(st.site).feed <- it:
+		if p.hedging() {
+			p.liveAttempts[stepKey{st.fam.ID, step}]++
+		}
 	case <-p.jobCtx.Done():
 		p.s.cfg.Tenants.ReleaseTasks(p.tenant, 1)
 	}
@@ -1221,14 +1558,38 @@ func (p *pump) groupFiles(st *famState, groupID string) map[string]string {
 }
 
 // handleTerminal resolves one finished/lost task against family plans.
-func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
+// hedge marks the task as a speculative duplicate (its completions count
+// as hedge wins when they claim steps first).
+func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef, hedge bool) {
 	touched := make(map[string]*famState)
+	// perStepE2E is the task's submit→terminal latency split across its
+	// steps — the span the hedge deadline is armed over, so queue wait at
+	// the endpoint is priced into future deadlines. Zero when hedging is
+	// off; the estimator then sees raw execution time (it has no consumer
+	// in that mode).
+	var perStepE2E time.Duration
+	if p.hedging() {
+		// The task is over: retire its attempts and drop its hedge
+		// bookkeeping before the per-step resolution below consults them.
+		if t0, ok := p.taskSubmitted[id]; ok && len(refs) > 0 {
+			perStepE2E = p.s.clk.Now().Sub(t0) / time.Duration(len(refs))
+		}
+		delete(p.taskSubmitted, id)
+		delete(p.hedgeTasks, id)
+		delete(p.taskRefs, id)
+		for _, r := range refs {
+			p.attemptDone(stepKey{r.famID, r.step})
+		}
+	}
 
 	switch info.Status {
 	case faas.TaskSuccess:
 		var result taskResult
 		if err := decodeTaskResult(info.Result, &result); err != nil {
 			for _, r := range refs {
+				if p.stepMoot(stepKey{r.famID, r.step}) {
+					continue
+				}
 				if st, ok := p.states[r.famID]; ok {
 					p.retryOrDeadLetter(st, r.step, "bad_result", err.Error())
 					touched[r.famID] = st
@@ -1240,16 +1601,39 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 		p.s.obs.Emitf(p.jobID, obs.EvTaskCompleted, "task=%s extractor=%s outcomes=%d",
 			id, result.Extractor, len(result.Outcomes))
 		for i, outc := range result.Outcomes {
-			st, ok := p.states[outc.FamilyID]
-			if !ok {
-				continue
-			}
 			step := scheduler.Step{GroupID: outc.GroupID, Extractor: result.Extractor}
 			if i < len(refs) {
 				step = refs[i].step
 			}
+			fence := stepKey{outc.FamilyID, step}
+			if p.hedging() && outc.OK && p.doneSteps[fence] {
+				// Exactly-once fence: another attempt already claimed this
+				// step, so every side effect — plan advance, cache
+				// write-back, journal record, billing, stats — has run
+				// exactly once. This duplicate is counted and discarded.
+				p.duplicateSteps++
+				p.s.obsHedgeFenced.Inc()
+				continue
+			}
+			st, ok := p.states[outc.FamilyID]
+			if !ok {
+				continue
+			}
 			dur := time.Duration(outc.ExtractMS * float64(time.Millisecond))
 			if outc.OK {
+				if p.hedging() {
+					p.doneSteps[fence] = true
+					if hedge {
+						p.hedgeWins++
+						p.s.obsHedgeWins.Inc()
+					}
+					p.cancelLosers(fence, id)
+				}
+				if perStepE2E > 0 {
+					p.s.estimator.Observe(step.Extractor, perStepE2E)
+				} else {
+					p.s.estimator.Observe(step.Extractor, dur)
+				}
 				st.steps = append(st.steps, validate.StepResult{
 					GroupID: outc.GroupID, Extractor: step.Extractor,
 					OK: true, Duration: dur,
@@ -1274,6 +1658,9 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 					p.s.TransferDurations.Observe(step.Extractor, st.xferDur)
 				}
 			} else {
+				if p.stepMoot(fence) {
+					continue // a hedge attempt owns this step's fate
+				}
 				// The extractor ran and reported failure; retry in case the
 				// fault was transient, then quarantine.
 				p.retryOrDeadLetter(st, step, "step_error", outc.Err)
@@ -1283,6 +1670,9 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 	case faas.TaskFailed:
 		p.s.obs.Emitf(p.jobID, obs.EvTaskFailed, "task=%s steps=%d err=%s", id, len(refs), info.Err)
 		for _, r := range refs {
+			if p.stepMoot(stepKey{r.famID, r.step}) {
+				continue // cancelled loser or covered by a live attempt
+			}
 			if st, ok := p.states[r.famID]; ok {
 				p.retryOrDeadLetter(st, r.step, "failed", info.Err)
 				touched[r.famID] = st
@@ -1294,6 +1684,9 @@ func (p *pump) handleTerminal(id string, info faas.TaskInfo, refs []stepRef) {
 		p.s.obs.Emitf(p.jobID, obs.EvTaskLost, "task=%s steps=%d", id, len(refs))
 		requeued := 0
 		for _, r := range refs {
+			if p.stepMoot(stepKey{r.famID, r.step}) {
+				continue
+			}
 			if st, ok := p.states[r.famID]; ok {
 				if p.retryOrDeadLetter(st, r.step, "lost", info.Err) {
 					requeued++
@@ -1326,11 +1719,22 @@ func (p *pump) finishIfDone(st *famState) {
 	}
 	delete(p.states, st.fam.ID)
 	if st.deadLettered > 0 {
-		p.failedFam++
-		p.s.obsFamiliesFailed.Inc()
-		p.s.obs.Emitf(p.jobID, obs.EvFamilyFailed,
-			"family=%s failed: %d steps dead-lettered", st.fam.ID, st.deadLettered)
-		return
+		stragglers := int64(p.s.cfg.StragglerBudget)
+		if stragglers <= 0 || p.deadLettered > stragglers {
+			p.failedFam++
+			p.s.obsFamiliesFailed.Inc()
+			p.s.obs.Emitf(p.jobID, obs.EvFamilyFailed,
+				"family=%s failed: %d steps dead-lettered", st.fam.ID, st.deadLettered)
+			return
+		}
+		// Inside the straggler budget: the family finishes degraded — its
+		// validation record ships below with the dead-lettered steps
+		// marked OK:false, preserving the partial metadata instead of
+		// discarding the whole family.
+		p.degradedFam++
+		p.s.obs.Emitf(p.jobID, obs.EvFamilyDone,
+			"family=%s degraded: %d steps dead-lettered within straggler budget",
+			st.fam.ID, st.deadLettered)
 	}
 	files := make([]string, 0, len(st.fam.FileMeta))
 	for f := range st.fam.FileMeta {

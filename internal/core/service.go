@@ -174,6 +174,38 @@ type Config struct {
 	// (dropped and counted) instead of written. Nil disables clustering
 	// (single-node operation).
 	Cluster *cluster.Node
+	// Hedge configures hedged speculative execution: tasks exceeding
+	// their extractor's adaptive deadline are duplicated to another site,
+	// first result wins. Disabled by default.
+	Hedge HedgePolicy
+	// Breakers configures per-site circuit breakers over task outcomes.
+	// Disabled by default.
+	Breakers BreakerPolicy
+	// Shed configures overload shedding at the API front door (consulted
+	// via ShedCheck). Disabled by default.
+	Shed ShedPolicy
+	// StragglerBudget, when positive, lets a job finish DEGRADED with
+	// partial results when at most this many steps dead-lettered (and no
+	// family failed outright for placement/staging reasons) instead of
+	// failing the whole job. Zero keeps the strict FAILED semantics.
+	StragglerBudget int
+}
+
+// ShedPolicy configures overload shedding: when either watermark is
+// crossed, new job submissions are refused with 503 + Retry-After
+// instead of admitted into a pipeline that cannot serve them.
+type ShedPolicy struct {
+	// Enabled turns shedding on.
+	Enabled bool
+	// MaxQueueDepth sheds when the summed compute-endpoint queue depth
+	// reaches this many tasks (0 = no queue-depth watermark).
+	MaxQueueDepth int
+	// SlotHighWatermark sheds when the global in-flight task slots in use
+	// reach this fraction of the tenant controller's TaskSlots budget
+	// (0 = no slot watermark; needs a controller with TaskSlots set).
+	SlotHighWatermark float64
+	// RetryAfter is the hint returned with the 503 (default 1s).
+	RetryAfter time.Duration
 }
 
 // Service is the Xtract orchestrator.
@@ -195,6 +227,17 @@ type Service struct {
 
 	// retry is cfg.Retry with defaults applied.
 	retry RetryPolicy
+	// hedge is cfg.Hedge with defaults applied; estimator is the shared
+	// per-extractor runtime estimator behind its adaptive deadlines (nil
+	// when hedging is off — deadlines then fall back to the heartbeat
+	// timeout).
+	hedge     HedgePolicy
+	estimator *latencyEstimator
+	// breakers holds one circuit breaker per site (lazily created; all
+	// nil when cfg.Breakers is disabled).
+	breakerPol BreakerPolicy
+	breakerMu  sync.Mutex
+	breakers   map[string]*breaker
 
 	GroupsProcessed   metrics.Counter
 	FamiliesDone      metrics.Counter
@@ -244,6 +287,11 @@ type Service struct {
 	obsRecoverySteps    *obs.Counter
 	obsRecoverySeconds  *obs.Histogram
 	obsClusterFenced    *obs.Counter
+	obsHedges           *obs.Counter
+	obsHedgeWins        *obs.Counter
+	obsHedgeFenced      *obs.Counter
+	obsHedgeCancelled   *obs.Counter
+	obsShedTotal        *obs.Counter
 
 	// Pre-resolved hot-path handles: the pump, dispatcher, and journal
 	// hook emit millions of events per run, so their known label values
@@ -293,6 +341,12 @@ func New(cfg Config) *Service {
 		TransferDurations: metrics.NewBreakdown(),
 		obs:               cfg.Obs,
 		retry:             cfg.Retry.withDefaults(),
+		hedge:             cfg.Hedge.withDefaults(),
+		breakerPol:        cfg.Breakers.withDefaults(),
+		breakers:          make(map[string]*breaker),
+	}
+	if s.hedge.Enabled {
+		s.estimator = newLatencyEstimator(s.hedge)
 	}
 	reg := cfg.Obs.Reg()
 	s.obsJobs = reg.CounterVec("xtract_jobs_total",
@@ -359,9 +413,19 @@ func New(cfg Config) *Service {
 		"Wall time of the journal recovery pass (replay through resume).", nil)
 	s.obsClusterFenced = reg.Counter("xtract_cluster_fenced_appends_total",
 		"Journal appends dropped because this node's job lease was lost.")
+	s.obsHedges = reg.Counter("xtract_hedges_total",
+		"Duplicate step attempts dispatched after a task exceeded its adaptive deadline.")
+	s.obsHedgeWins = reg.Counter("xtract_hedge_wins_total",
+		"Steps whose hedged duplicate finished before the original attempt.")
+	s.obsHedgeFenced = reg.Counter("xtract_hedge_fenced_total",
+		"Duplicate step completions discarded by the exactly-once fence.")
+	s.obsHedgeCancelled = reg.Counter("xtract_hedge_cancelled_total",
+		"Losing attempts cancelled after a sibling completed first.")
+	s.obsShedTotal = reg.Counter("xtract_shed_total",
+		"Job submissions refused by overload shedding (503 + Retry-After).")
 	s.obsWakeupBy = make(map[string]*obs.Counter)
 	for _, reason := range []string{
-		"start", "crawl", "families", "staged", "events", "retry", "idle",
+		"start", "crawl", "families", "staged", "events", "retry", "hedge", "idle",
 	} {
 		s.obsWakeupBy[reason] = s.obsPumpWakeups.With(reason)
 	}
@@ -374,7 +438,7 @@ func New(cfg Config) *Service {
 	s.obsJobStateBy = make(map[registry.JobState]*obs.Counter)
 	for _, st := range []registry.JobState{
 		registry.JobCrawling, registry.JobExtracting, registry.JobComplete,
-		registry.JobFailed, registry.JobCancelled,
+		registry.JobFailed, registry.JobCancelled, registry.JobDegraded,
 	} {
 		s.obsJobStateBy[st] = s.obsJobs.With(string(st))
 	}
@@ -401,6 +465,79 @@ func New(cfg Config) *Service {
 		)
 	}
 	return s
+}
+
+// breakerFor returns (lazily creating) the site's circuit breaker; nil
+// when breakers are disabled. First use registers the site's
+// xtract_breaker_state gauge.
+func (s *Service) breakerFor(site string) *breaker {
+	if !s.breakerPol.Enabled {
+		return nil
+	}
+	s.breakerMu.Lock()
+	b, ok := s.breakers[site]
+	if !ok {
+		b = newBreaker(s.breakerPol, s.clk)
+		s.breakers[site] = b
+		s.cfg.Obs.Reg().GaugeFunc("xtract_breaker_state",
+			"Per-site circuit breaker state (0 closed, 1 half-open, 2 open).",
+			map[string]string{"site": site},
+			func() float64 { return float64(b.State()) })
+	}
+	s.breakerMu.Unlock()
+	return b
+}
+
+// recordSiteOutcome feeds one terminal task into the site's breaker.
+// Cancelled hedge losers are skipped: the kill is ours, not the site's.
+func (s *Service) recordSiteOutcome(site string, info faas.TaskInfo) {
+	if !s.breakerPol.Enabled {
+		return
+	}
+	if info.Status == faas.TaskFailed && info.Err == errTaskCancelledText {
+		return
+	}
+	s.breakerFor(site).Record(info.Status == faas.TaskSuccess)
+}
+
+// errTaskCancelledText is the fabric's cancellation error string,
+// resolved once — hot paths compare against it instead of allocating.
+var errTaskCancelledText = faas.ErrTaskCancelled.Error()
+
+// ShedCheck reports whether a new job submission should be refused for
+// overload, and the Retry-After hint to return with the 503. Consulted
+// by the API front door before tenant admission.
+func (s *Service) ShedCheck() (time.Duration, bool) {
+	pol := s.cfg.Shed
+	if !pol.Enabled {
+		return 0, false
+	}
+	retry := pol.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	if pol.SlotHighWatermark > 0 {
+		if used, total := s.cfg.Tenants.SlotPressure(); total > 0 &&
+			float64(used) >= pol.SlotHighWatermark*float64(total) {
+			s.obsShedTotal.Inc()
+			return retry, true
+		}
+	}
+	if pol.MaxQueueDepth > 0 {
+		depth := 0
+		s.mu.Lock()
+		for _, site := range s.sites {
+			if ep := site.ComputeEndpoint(); ep != nil {
+				depth += ep.QueueDepth()
+			}
+		}
+		s.mu.Unlock()
+		if depth >= pol.MaxQueueDepth {
+			s.obsShedTotal.Inc()
+			return retry, true
+		}
+	}
+	return 0, false
 }
 
 // wakeupCounter returns the cached counter for a pump wakeup reason.

@@ -87,6 +87,17 @@ type Options struct {
 	// minted job IDs carry the node identity so nodes sharing a journal
 	// never collide.
 	Cluster *cluster.Node
+	// Hedge enables hedged speculative execution: steps running past
+	// their extractor's online latency estimate get a duplicate on
+	// another site, first result wins.
+	Hedge core.HedgePolicy
+	// Breakers enables per-site circuit breakers over task outcomes.
+	Breakers core.BreakerPolicy
+	// Shed enables overload shedding at the API front door.
+	Shed core.ShedPolicy
+	// StragglerBudget, when > 0, lets a job finish DEGRADED with partial
+	// results while at most this many steps dead-lettered.
+	StragglerBudget int
 }
 
 // Deployment is a running Xtract instance.
@@ -183,6 +194,10 @@ func New(ctx context.Context, clk clock.Clock, sites []SiteSpec, opts Options) (
 		Journal:         opts.Journal,
 		Tenants:         opts.Tenants,
 		Cluster:         opts.Cluster,
+		Hedge:           opts.Hedge,
+		Breakers:        opts.Breakers,
+		Shed:            opts.Shed,
+		StragglerBudget: opts.StragglerBudget,
 	})
 	d.Tenants = opts.Tenants
 	opts.Tenants.Instrument(d.Obs.Reg())

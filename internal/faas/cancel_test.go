@@ -1,0 +1,198 @@
+package faas
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xtract/internal/faultinject"
+)
+
+func TestCancelPendingTaskNeverRuns(t *testing.T) {
+	svc, _, cancel := newLiveService(t, 1)
+	defer cancel()
+
+	block := make(chan struct{})
+	ran := make(chan string, 8)
+	fid, err := svc.RegisterFunction("blocker", func(_ context.Context, p []byte) ([]byte, error) {
+		ran <- string(p)
+		<-block
+		return p, nil
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First task occupies the only worker; the second stays queued.
+	first, err := svc.Submit(TaskRequest{FunctionID: fid, EndpointID: "ep1", Payload: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ran
+	second, err := svc.Submit(TaskRequest{FunctionID: fid, EndpointID: "ep1", Payload: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !svc.CancelTask(second) {
+		t.Fatal("pending task not cancelled")
+	}
+	info, err := svc.Wait(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != TaskFailed || info.Err != ErrTaskCancelled.Error() {
+		t.Fatalf("cancelled task info = %+v", info)
+	}
+
+	// Cancelling again — or cancelling an unknown task — reports false.
+	if svc.CancelTask(second) {
+		t.Fatal("second cancel of a terminal task returned true")
+	}
+	if svc.CancelTask("nope") {
+		t.Fatal("unknown task cancelled")
+	}
+
+	// The worker frees up and must skip the cancelled task entirely.
+	close(block)
+	if info, err := svc.Wait(first); err != nil || info.Status != TaskSuccess {
+		t.Fatalf("first task info = %+v, %v", info, err)
+	}
+	select {
+	case p := <-ran:
+		t.Fatalf("cancelled task executed with payload %q", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestCancelRunningTaskDiscardsLateResult(t *testing.T) {
+	svc, _, cancel := newLiveService(t, 1)
+	defer cancel()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	fid, err := svc.RegisterFunction("blocker", func(context.Context, []byte) ([]byte, error) {
+		close(started)
+		<-block
+		return []byte("late"), nil
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Submit(TaskRequest{FunctionID: fid, EndpointID: "ep1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if !svc.CancelTask(id) {
+		t.Fatal("running task not cancelled")
+	}
+	info, err := svc.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != TaskFailed || info.Err != ErrTaskCancelled.Error() {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// The handler finishes after the cancel: its result must not
+	// resurrect the task (the terminal-status fence in taskFinished).
+	close(block)
+	time.Sleep(10 * time.Millisecond)
+	again, err := svc.Poll(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != TaskFailed || string(again.Result) == "late" {
+		t.Fatalf("late completion overwrote the cancellation: %+v", again)
+	}
+}
+
+func TestSlowFaultStretchesExecution(t *testing.T) {
+	svc, _, cancel := newLiveService(t, 1)
+	defer cancel()
+	svc.SetFaults(faultinject.New(faultinject.Config{
+		Seed:    1,
+		Slow:    faultinject.Rule{Prob: 1, Max: 1},
+		SlowFor: 60 * time.Millisecond,
+	}))
+
+	fid, err := svc.RegisterFunction("echo", echoHandler, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	id, err := svc.Submit(TaskRequest{FunctionID: fid, EndpointID: "ep1", Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := svc.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != TaskSuccess || string(info.Result) != "X" {
+		t.Fatalf("slowed task must still complete normally: %+v", info)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("task finished in %v, slow fault (60ms) not applied", elapsed)
+	}
+
+	// The budget is spent: the next task runs at full speed.
+	start = time.Now()
+	id2, _ := svc.Submit(TaskRequest{FunctionID: fid, EndpointID: "ep1", Payload: []byte("y")})
+	if info, err := svc.Wait(id2); err != nil || info.Status != TaskSuccess {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("second task took %v, slow budget not bounded", elapsed)
+	}
+}
+
+func TestCancelDuringSlowSleepAbortsPromptly(t *testing.T) {
+	svc, _, cancel := newLiveService(t, 1)
+	defer cancel()
+	svc.SetFaults(faultinject.New(faultinject.Config{
+		Seed:    1,
+		Slow:    faultinject.Rule{Prob: 1, Max: 1},
+		SlowFor: 10 * time.Second,
+	}))
+
+	executed := make(chan struct{}, 1)
+	fid, err := svc.RegisterFunction("mark", func(context.Context, []byte) ([]byte, error) {
+		executed <- struct{}{}
+		return nil, nil
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Submit(TaskRequest{FunctionID: fid, EndpointID: "ep1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the worker a moment to enter the injected straggle, then kill
+	// the task: the sleep must abort instead of running out the full 10s,
+	// and the handler must never execute.
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	if !svc.CancelTask(id) {
+		t.Fatal("task not cancelled")
+	}
+	fid2, _ := svc.RegisterFunction("echo", echoHandler, "")
+	id2, err := svc.Submit(TaskRequest{FunctionID: fid2, EndpointID: "ep1", Payload: []byte("z")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := svc.Wait(id2); err != nil || info.Status != TaskSuccess {
+		t.Fatalf("worker still wedged in the straggle: %+v, %v", info, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("worker freed after %v, cancel did not abort the sleep", elapsed)
+	}
+	select {
+	case <-executed:
+		t.Fatal("cancelled task's handler executed after the straggle")
+	default:
+	}
+}

@@ -229,6 +229,28 @@ func (e *Endpoint) execute(ctx context.Context, item *dispatchItem) {
 	payload := t.payload
 	t.mu.Unlock()
 
+	if h := e.svc.faultHook(); h != nil {
+		if sh, ok := h.(SlowFaultHook); ok {
+			if d := sh.SlowFault(e.ID); d > 0 {
+				// Injected straggler latency. The sleep aborts when the task
+				// turns terminal underneath it (cancelled hedge loser, lost
+				// allocation), so a killed duplicate frees its worker
+				// immediately instead of sleeping out the full straggle.
+				select {
+				case <-t.doneCh:
+					return
+				case <-e.clk.After(d):
+				}
+				t.mu.Lock()
+				terminal := t.info.Status.Terminal()
+				t.mu.Unlock()
+				if terminal {
+					return
+				}
+			}
+		}
+	}
+
 	e.containers.Acquire(fn.container)
 	e.clk.Sleep(e.ExecOverheadPerTask)
 	start := e.clk.Now()

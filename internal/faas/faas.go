@@ -25,6 +25,9 @@ var (
 	ErrUnknownTask      = errors.New("faas: unknown task")
 	ErrUnknownContainer = errors.New("faas: unknown container")
 	ErrEndpointStopped  = errors.New("faas: endpoint stopped")
+	// ErrTaskCancelled is the error recorded on tasks killed via
+	// CancelTask — hedged duplicates whose sibling attempt won.
+	ErrTaskCancelled = errors.New("faas: task cancelled")
 )
 
 // Handler is the code behind a registered function. Payloads are opaque
@@ -42,6 +45,15 @@ type FaultHook interface {
 	// EndpointCrash stops the endpoint at a heartbeat tick, simulating
 	// an allocation ending mid-run.
 	EndpointCrash(endpointID string) bool
+}
+
+// SlowFaultHook is an optional FaultHook extension: hooks that also
+// implement it may stretch one task execution by the returned duration
+// (zero = full speed), modeling a straggler worker without failing the
+// task. Kept separate from FaultHook so existing hook implementations
+// stay valid.
+type SlowFaultHook interface {
+	SlowFault(endpointID string) time.Duration
 }
 
 // TaskStatus is the lifecycle state of a submitted task.
@@ -589,6 +601,40 @@ func (s *Service) taskFinished(t *task, result []byte, err error) {
 	}
 	s.TasksCompleted.Inc()
 	s.obsTaskLatency.ObserveDuration(latency)
+}
+
+// CancelTask force-fails a non-terminal task with ErrTaskCancelled,
+// reporting whether it made the transition. This is the loser-kill half
+// of hedged speculative execution: a duplicate still queued never runs
+// (workers skip terminal tasks), and one already executing has its
+// result discarded by the terminal-status fence in taskFinished. The
+// cancellation is delivered to completion sinks like any other terminal
+// state, so the dispatcher's outstanding-task accounting drains
+// normally.
+func (s *Service) CancelTask(id string) bool {
+	s.mu.Lock()
+	t, ok := s.tasks[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	if t.info.Status.Terminal() {
+		t.mu.Unlock()
+		return false
+	}
+	t.info.Err = ErrTaskCancelled.Error()
+	t.info.Finished = s.clk.Now()
+	t.info.Status = TaskFailed
+	close(t.doneCh)
+	info := t.info
+	var subs []*CompletionSink
+	subs, t.subs = t.subs, nil
+	t.mu.Unlock()
+	for _, sub := range subs {
+		sub.push(info)
+	}
+	return true
 }
 
 // Notify subscribes sink to the terminal events of the given tasks: each

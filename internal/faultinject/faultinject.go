@@ -41,6 +41,7 @@ const (
 	KindExtractError  Kind = "extract_error"
 	KindExtractPanic  Kind = "extract_panic"
 	KindQueueDrop     Kind = "queue_drop"
+	KindSlow          Kind = "slow"
 )
 
 // Rule configures one fault class.
@@ -82,6 +83,13 @@ type Config struct {
 	// QueueDrop makes one queue Receive call deliver nothing; messages
 	// stay visible and arrive on a later poll.
 	QueueDrop Rule
+	// Slow stretches one task execution at an endpoint worker by SlowFor —
+	// the deterministic straggler model behind the tail-latency scenarios.
+	// Unlike the other kinds it injects latency, not failure: the task
+	// still runs and completes.
+	Slow Rule
+	// SlowFor is the injected execution delay (default 50ms).
+	SlowFor time.Duration
 }
 
 // Error is the error value injected for dispatch, transfer, and extract
@@ -115,6 +123,9 @@ type Injector struct {
 func New(cfg Config) *Injector {
 	if cfg.StallFor <= 0 {
 		cfg.StallFor = 5 * time.Millisecond
+	}
+	if cfg.SlowFor <= 0 {
+		cfg.SlowFor = 50 * time.Millisecond
 	}
 	return &Injector{
 		cfg:   cfg,
@@ -187,6 +198,19 @@ func (i *Injector) TransferFault(src, dst string) (time.Duration, error) {
 		return stall, &Error{Kind: KindTransferError, Key: key}
 	}
 	return stall, nil
+}
+
+// SlowFault implements faas.SlowFaultHook: a fired decision returns the
+// extra execution latency to inject into one task on the endpoint; zero
+// means the task runs at full speed.
+func (i *Injector) SlowFault(endpointID string) time.Duration {
+	if i == nil {
+		return 0
+	}
+	if i.fire(KindSlow, i.cfg.Slow, endpointID) {
+		return i.cfg.SlowFor
+	}
+	return 0
 }
 
 // ReceiveFault implements queue.FaultHook.

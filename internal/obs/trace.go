@@ -26,6 +26,10 @@ const (
 	EvTaskResubmitted  = "task_resubmitted"
 	EvTaskRetried      = "task_retried"
 	EvTaskDeadLettered = "task_dead_lettered"
+	// EvTaskHedged marks a speculative duplicate dispatched for a step
+	// running past its extractor's latency estimate (detail names the
+	// target site).
+	EvTaskHedged = "task_hedged"
 	EvFamilyDone       = "family_done"
 	EvFamilyFailed     = "family_failed"
 	EvFamilyValidated  = "family_validated"

@@ -284,3 +284,62 @@ func TestAtLeastOnceNoLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeleteBatchSkipsStaleReceiptAfterRedelivery(t *testing.T) {
+	// Regression for the duplicate-completion race: a consumer holds a
+	// message past its visibility timeout, the queue redelivers it to a
+	// second consumer under a fresh receipt, and then BOTH consumers ack.
+	// The first consumer's stale receipt must be a no-op — acknowledging
+	// it must not delete (or double-count) the redelivered copy.
+	q, clk := newTestQueue()
+	q.Send([]byte("fam"))
+
+	first := q.Receive(1, 10*time.Second)
+	if len(first) != 1 {
+		t.Fatal("expected one message")
+	}
+	clk.Advance(11 * time.Second)
+
+	second := q.Receive(1, 10*time.Second)
+	if len(second) != 1 {
+		t.Fatal("message not redelivered after visibility expiry")
+	}
+	if second[0].Deliveries != 2 {
+		t.Fatalf("deliveries = %d, want 2", second[0].Deliveries)
+	}
+	if second[0].Receipt == first[0].Receipt {
+		t.Fatal("redelivery reused the expired receipt")
+	}
+
+	// The slow consumer acks late with its dead receipt: skipped, and the
+	// live redelivery stays in flight.
+	if n := q.DeleteBatch([]string{first[0].Receipt}); n != 0 {
+		t.Fatalf("stale DeleteBatch acked %d messages, want 0", n)
+	}
+	if q.InFlight() != 1 {
+		t.Fatalf("inflight = %d after stale ack, want 1", q.InFlight())
+	}
+
+	// The second consumer's ack completes the message exactly once.
+	if n := q.DeleteBatch([]string{second[0].Receipt}); n != 1 {
+		t.Fatalf("fresh DeleteBatch acked %d messages, want 1", n)
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatalf("queue not drained: visible=%d inflight=%d", q.Len(), q.InFlight())
+	}
+
+	// A mixed batch (stale + fresh) counts only the known receipt.
+	q.Send([]byte("fam2"))
+	m1 := q.Receive(1, time.Second)
+	clk.Advance(2 * time.Second)
+	m2 := q.Receive(1, time.Minute)
+	if len(m1) != 1 || len(m2) != 1 {
+		t.Fatal("setup failed")
+	}
+	if n := q.DeleteBatch([]string{m1[0].Receipt, m2[0].Receipt}); n != 1 {
+		t.Fatalf("mixed DeleteBatch = %d, want 1", n)
+	}
+	if q.Len() != 0 || q.InFlight() != 0 {
+		t.Fatal("queue not drained after mixed batch")
+	}
+}

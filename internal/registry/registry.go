@@ -55,11 +55,15 @@ const (
 	JobComplete   JobState = "COMPLETE"
 	JobFailed     JobState = "FAILED"
 	JobCancelled  JobState = "CANCELLED"
+	// JobDegraded is a terminal success-with-losses state: the job
+	// finished with partial results because some steps dead-lettered
+	// within the service's straggler budget.
+	JobDegraded JobState = "DEGRADED"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobComplete || s == JobFailed || s == JobCancelled
+	return s == JobComplete || s == JobFailed || s == JobCancelled || s == JobDegraded
 }
 
 // MaxDeadLetters bounds the dead-letter list retained on a job record;

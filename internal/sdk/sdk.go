@@ -58,6 +58,12 @@ func (e *APIError) IsQuota() bool { return e != nil && e.Code == api.CodeTenantQ
 // IsForbidden reports whether the error is the cross-tenant 403.
 func (e *APIError) IsForbidden() bool { return e != nil && e.Code == api.CodeTenantForbidden }
 
+// IsOverloaded reports whether the error is the overload-shed 503: the
+// service refused the submission at its queue/task-slot watermark. The
+// RetryAfter field carries the server's backoff hint, exactly as it
+// does for quota refusals.
+func (e *APIError) IsOverloaded() bool { return e != nil && e.Code == api.CodeOverloaded }
+
 // parseAPIError decodes an error response body, accepting the structured
 // envelope {"error": {"code", "message"}}, its deprecated "message"
 // mirror, and the legacy bare-string {"error": "..."} form produced by

@@ -1,6 +1,7 @@
 package sdk
 
 import (
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -139,5 +140,64 @@ func TestWaitJobFakeClock(t *testing.T) {
 			fake.Advance(time.Second)
 			time.Sleep(time.Millisecond)
 		}
+	}
+}
+
+func TestSubmitShedSurfacesRetryAfter(t *testing.T) {
+	// An overloaded server sheds the submission with 503 + Retry-After;
+	// the client must surface both the typed code and the backoff hint,
+	// exactly as it does for 429 quota refusals.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/jobs" || r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write([]byte(`{"error":"not found"}`))
+			return
+		}
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":{"code":"overloaded","message":"api: service overloaded, retry after 7s"}}`))
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, "").Submit(api.JobRequest{Repos: []api.RepoRequest{{Site: "x"}}})
+	if err == nil {
+		t.Fatal("shed submission returned success")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %T %v, want *APIError", err, err)
+	}
+	if !apiErr.IsOverloaded() {
+		t.Fatalf("IsOverloaded() = false for %+v", apiErr)
+	}
+	if apiErr.IsQuota() {
+		t.Fatal("shed error misclassified as quota")
+	}
+	if apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", apiErr.Status)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+}
+
+func TestWaitJobReturnsDegradedOutcome(t *testing.T) {
+	// A job that converged inside the straggler budget is terminal
+	// (complete=true) with the degraded marker set: WaitJob must return
+	// it rather than polling forever, and the flag must survive decoding.
+	ts := canned(t, map[string]string{
+		"/api/v1/jobs/j1": `{"job_id":"j1","state":"DEGRADED","complete":true,"degraded":true,"groups_done":9}`,
+	}, "")
+	defer ts.Close()
+
+	st, err := New(ts.URL, "").WaitJob("j1", time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete || !st.Degraded {
+		t.Fatalf("st = %+v, want complete+degraded", st)
+	}
+	if st.State != "DEGRADED" || st.Done != 9 {
+		t.Fatalf("st = %+v", st)
 	}
 }

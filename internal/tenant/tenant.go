@@ -94,7 +94,10 @@ type Usage struct {
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
-	ActiveJobs    int   `json:"active_jobs"`
+	// JobsDegraded counts jobs that finished with partial results under
+	// the straggler budget.
+	JobsDegraded int64 `json:"jobs_degraded,omitempty"`
+	ActiveJobs   int   `json:"active_jobs"`
 	// TasksDispatched counts fair-share task-slot grants (FaaS dispatch
 	// admissions); InFlightTasks is the live slot count.
 	TasksDispatched int64 `json:"tasks_dispatched"`
@@ -118,6 +121,7 @@ func (u *Usage) Add(o Usage) {
 	u.JobsCompleted += o.JobsCompleted
 	u.JobsFailed += o.JobsFailed
 	u.JobsCancelled += o.JobsCancelled
+	u.JobsDegraded += o.JobsDegraded
 	u.ActiveJobs += o.ActiveJobs
 	u.TasksDispatched += o.TasksDispatched
 	u.InFlightTasks += o.InFlightTasks
@@ -426,8 +430,9 @@ func (c *Controller) JobEnded(id string) {
 	t.mActive.Set(float64(t.active))
 }
 
-// JobOutcome records a job's terminal state ("COMPLETE", "FAILED",
-// "CANCELLED") for the tenant's bill and the per-tenant jobs metric.
+// JobOutcome records a job's terminal state ("COMPLETE", "DEGRADED",
+// "FAILED", "CANCELLED") for the tenant's bill and the per-tenant jobs
+// metric.
 func (c *Controller) JobOutcome(id, jobState string) {
 	if c == nil {
 		return
@@ -439,6 +444,8 @@ func (c *Controller) JobOutcome(id, jobState string) {
 	switch jobState {
 	case "COMPLETE":
 		t.usage.JobsCompleted++
+	case "DEGRADED":
+		t.usage.JobsDegraded++
 	case "CANCELLED":
 		t.usage.JobsCancelled++
 	default:
@@ -492,6 +499,19 @@ func (c *Controller) AddBytesStaged(id string, n int64) {
 	t := c.stateLocked(id)
 	t.usage.BytesStaged += n
 	t.mBytes.Add(float64(n))
+}
+
+// SlotPressure reports the global in-flight task-slot usage against the
+// configured TaskSlots budget — the overload-shedding watermark input.
+// A nil controller (or an unlimited budget) reports zero capacity, which
+// disables the slot watermark.
+func (c *Controller) SlotPressure() (inflight, slots int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight, c.cfg.TaskSlots
 }
 
 // UsageFor snapshots one tenant's usage; ok is false for a tenant the
